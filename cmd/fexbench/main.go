@@ -1,0 +1,70 @@
+// Command fexbench regenerates the paper's tables and figures over the
+// calibrated synthetic datasets.
+//
+// Usage:
+//
+//	fexbench -exp table4                 # one experiment, default sizes
+//	fexbench -exp all                    # the full evaluation suite
+//	fexbench -exp fig8,fig9 -profiles movielens,netflix
+//	fexbench -exp table4 -items 5000 -queries 50   # quick smoke run
+//
+// Default sizes follow Table 2 of the paper (Yahoo scaled to 100k items)
+// with 200 sampled queries per dataset; expect minutes per experiment at
+// full size on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fexipro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (table3..table8, fig6..fig20), comma-separated, or 'all'")
+		profiles = flag.String("profiles", "", "comma-separated dataset profiles (default: all four)")
+		items    = flag.Int("items", 0, "override item count per dataset (0 = profile default)")
+		queries  = flag.Int("queries", 0, "override query count (0 = profile default of 200)")
+		dim      = flag.Int("dim", 0, "override dimensionality d (0 = profile default of 50)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		reg := experiments.Registry()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-8s %s\n", id, reg[id].Description)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nerror: -exp is required (or -list)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Items: *items, Queries: *queries, Dim: *dim}
+	if *profiles != "" {
+		cfg.Profiles = strings.Split(*profiles, ",")
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		out, err := experiments.RunByID(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fexbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,53 @@
+// Command fexcalibrate is a development tool: it sweeps the synthetic
+// dataset generator's parameters (norm skew, spectral decay) and reports
+// the pruning-power profile of each combination, so the dataset profiles
+// in internal/data can be tuned to reproduce the SHAPE of the paper's
+// Tables 3/4 (who wins, by roughly what factor).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fexipro/internal/data"
+	"fexipro/internal/experiments"
+)
+
+func main() {
+	var (
+		items   = flag.Int("items", 20000, "item count")
+		queries = flag.Int("queries", 50, "query count")
+		base    = flag.String("profile", "movielens", "base profile")
+	)
+	flag.Parse()
+
+	prof, err := data.ProfileByName(*base)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println("sigma  decay  |   SS-L     F-S    F-SI   F-SIR  | t(naive) t(SS-L) t(F-S) t(F-SIR) ms")
+	for _, sigma := range []float64{0.15, 0.25, 0.35, 0.5} {
+		for _, decay := range []float64{0.02, 0.05, 0.08, 0.12} {
+			p := prof
+			p.NormSigma = sigma
+			p.SpectralDecay = decay
+			ds := data.Generate(p, *items, *queries, 0)
+			counts := map[string]float64{}
+			times := map[string]float64{}
+			for _, m := range []string{"Naive", "SS-L", "F-S", "F-SI", "F-SIR"} {
+				res, err := experiments.RunMethod(m, ds, 1, false)
+				if err != nil {
+					fmt.Println(err)
+					return
+				}
+				counts[m] = res.AvgFullIP
+				times[m] = float64(res.Retrieve.Milliseconds())
+			}
+			fmt.Printf("%.2f   %.2f   | %7.1f %7.1f %7.1f %7.1f | %7.0f %7.0f %7.0f %7.0f\n",
+				sigma, decay, counts["SS-L"], counts["F-S"], counts["F-SI"], counts["F-SIR"],
+				times["Naive"], times["SS-L"], times["F-S"], times["F-SIR"])
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command fexgen materializes workloads for fexquery and external tools:
+// either synthetic factor matrices from a calibrated dataset profile, or
+// factors learned by matrix factorization from synthetic ratings.
+//
+// Usage:
+//
+//	fexgen -profile movielens -items 10000 -queries 100 -out ./data
+//	fexgen -train -users 2000 -trainitems 1500 -dim 32 -out ./data
+//
+// Output files (binary FXP1 format, loadable with fexipro.LoadMatrix):
+//
+//	<out>/items.fxp    item factor matrix (n×d)
+//	<out>/queries.fxp  query/user vectors (m×d)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fexipro"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "movielens", "dataset profile: movielens|yelp|netflix|yahoo")
+		items      = flag.Int("items", 0, "number of items (0 = profile default)")
+		queries    = flag.Int("queries", 0, "number of queries (0 = profile default)")
+		dim        = flag.Int("dim", 0, "dimensionality d (0 = profile default)")
+		out        = flag.String("out", ".", "output directory")
+		train      = flag.Bool("train", false, "learn factors by MF from synthetic ratings instead of sampling a profile")
+		users      = flag.Int("users", 1000, "(with -train) number of users")
+		trainItems = flag.Int("trainitems", 800, "(with -train) number of items")
+		perUser    = flag.Int("peruser", 30, "(with -train) average ratings per user")
+		algo       = flag.String("algo", "ccd", "(with -train) MF algorithm: ccd|sgd")
+		seed       = flag.Int64("seed", 1, "(with -train) rating generation seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var itemsM, queriesM *fexipro.Matrix
+	if *train {
+		d := *dim
+		if d <= 0 {
+			d = 32
+		}
+		ratings := fexipro.GenerateRatings(*users, *trainItems, d, *perUser, *seed)
+		fmt.Printf("training %s MF on %d ratings (%d users × %d items, d=%d)\n",
+			*algo, len(ratings), *users, *trainItems, d)
+		rec, err := fexipro.Train(ratings, *users, *trainItems,
+			fexipro.TrainConfig{Dim: d, Algorithm: *algo, Seed: *seed}, fexipro.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("training RMSE: %.4f\n", rec.RMSE(ratings))
+		itemsM = rec.ItemFactors()
+		queriesM = rec.UserFactors()
+	} else {
+		ds, err := fexipro.GenerateDataset(*profile, *items, *queries, *dim)
+		if err != nil {
+			fatal(err)
+		}
+		itemsM, queriesM = ds.Items, ds.Queries
+	}
+
+	itemsPath := filepath.Join(*out, "items.fxp")
+	queriesPath := filepath.Join(*out, "queries.fxp")
+	if err := fexipro.SaveMatrix(itemsPath, itemsM); err != nil {
+		fatal(err)
+	}
+	if err := fexipro.SaveMatrix(queriesPath, queriesM); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d×%d) and %s (%d×%d)\n",
+		itemsPath, itemsM.Rows(), itemsM.Cols(),
+		queriesPath, queriesM.Rows(), queriesM.Cols())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fexgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command fexserve exposes a FEXIPRO index over HTTP.
+//
+// Usage:
+//
+//	fexserve -items data/items.fxp -addr :8080
+//	fexserve -dim 50 -addr :8080          # start with an empty catalog
+//
+// API (JSON):
+//
+//	POST   /v1/search   {"vector": [...], "k": 10}
+//	POST   /v1/above    {"vector": [...], "threshold": 3.5}
+//	POST   /v1/items    {"vector": [...]}            → 201 {"id": n}
+//	DELETE /v1/items/{id}
+//	GET    /v1/info     → {"items": n, "dim": d}
+//	GET    /v1/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"fexipro/internal/core"
+	"fexipro/internal/data"
+	"fexipro/internal/server"
+	"fexipro/internal/vec"
+)
+
+func main() {
+	var (
+		itemsPath = flag.String("items", "", "FXP1 item factor file (optional if -dim given)")
+		dim       = flag.Int("dim", 0, "dimension for an empty starting catalog")
+		addr      = flag.String("addr", ":8080", "listen address")
+		variant   = flag.String("variant", "F-SIR", "FEXIPRO variant")
+	)
+	flag.Parse()
+
+	var items *vec.Matrix
+	switch {
+	case *itemsPath != "":
+		m, err := data.LoadMatrix(*itemsPath)
+		if err != nil {
+			log.Fatalf("fexserve: %v", err)
+		}
+		items = m
+	case *dim > 0:
+		items = vec.NewMatrix(0, *dim)
+	default:
+		log.Fatal("fexserve: provide -items FILE or -dim N")
+	}
+
+	opts, err := core.OptionsForVariant(*variant)
+	if err != nil {
+		log.Fatalf("fexserve: %v", err)
+	}
+	start := time.Now()
+	srv, err := server.New(items, opts)
+	if err != nil {
+		log.Fatalf("fexserve: %v", err)
+	}
+	fmt.Printf("fexserve: indexed %d items (d=%d, %s) in %v; listening on %s\n",
+		items.Rows, items.Cols, *variant, time.Since(start).Round(time.Millisecond), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}

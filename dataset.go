@@ -1,0 +1,84 @@
+package fexipro
+
+import (
+	"io"
+
+	"fexipro/internal/data"
+)
+
+// Dataset is a synthetic retrieval workload: item factors plus query
+// (user) vectors, generated from one of the paper-calibrated profiles.
+type Dataset struct {
+	// Name is the profile name ("movielens", "yelp", "netflix", "yahoo").
+	Name string
+	// Items holds the item factor vectors (rows).
+	Items *Matrix
+	// Queries holds user query vectors (rows).
+	Queries *Matrix
+}
+
+// GenerateDataset produces a deterministic synthetic workload that mimics
+// the named evaluation dataset of the paper (see DESIGN.md for the
+// calibration). Pass 0 for numItems/numQueries/d to use the profile's
+// benchmark defaults.
+func GenerateDataset(profile string, numItems, numQueries, d int) (*Dataset, error) {
+	p, err := data.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	ds := data.Generate(p, numItems, numQueries, d)
+	return &Dataset{
+		Name:    p.Name,
+		Items:   &Matrix{m: ds.Items},
+		Queries: &Matrix{m: ds.Queries},
+	}, nil
+}
+
+// DatasetProfiles lists the available profile names in the paper's order.
+func DatasetProfiles() []string {
+	ps := data.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// GenerateRatings produces a synthetic rating set from a planted low-rank
+// model — the input for Train in end-to-end examples and tests.
+func GenerateRatings(numUsers, numItems, dim, perUser int, seed int64) []Rating {
+	raw, _, _ := data.PlantedRatings(data.RatingConfig{
+		Users: numUsers, Items: numItems, Dim: dim,
+		PerUser: perUser, Noise: 0.2, Scale: 5, Seed: seed,
+	})
+	out := make([]Rating, len(raw))
+	for i, r := range raw {
+		out[i] = Rating{User: r.User, Item: r.Item, Value: r.Value}
+	}
+	return out
+}
+
+// SaveMatrix writes a factor matrix to path in the library's binary
+// format (FXP1).
+func SaveMatrix(path string, m *Matrix) error { return data.SaveMatrix(path, m.m) }
+
+// LoadMatrix reads a factor matrix written by SaveMatrix.
+func LoadMatrix(path string) (*Matrix, error) {
+	inner, err := data.LoadMatrix(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{m: inner}, nil
+}
+
+// WriteMatrixCSV writes m as comma-separated rows.
+func WriteMatrixCSV(w io.Writer, m *Matrix) error { return data.WriteMatrixCSV(w, m.m) }
+
+// ReadMatrixCSV parses comma-separated rows.
+func ReadMatrixCSV(r io.Reader) (*Matrix, error) {
+	inner, err := data.ReadMatrixCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{m: inner}, nil
+}

@@ -1,0 +1,87 @@
+package fexipro_test
+
+import (
+	"fmt"
+
+	"fexipro"
+)
+
+// The minimal end-to-end flow: index item factors, search a user vector.
+func ExampleNew() {
+	items := fexipro.MatrixFromRows([][]float64{
+		{0.9, 0.1, 0.0}, // item 0
+		{0.2, 0.8, 0.1}, // item 1
+		{0.1, 0.2, 0.9}, // item 2
+		{0.5, 0.5, 0.5}, // item 3
+	})
+	s, err := fexipro.New(items, fexipro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	user := []float64{1.0, 0.0, 0.2}
+	for _, r := range s.Search(user, 2) {
+		fmt.Printf("item %d score %.2f\n", r.ID, r.Score)
+	}
+	// Output:
+	// item 0 score 0.90
+	// item 3 score 0.60
+}
+
+// Above-threshold retrieval returns every item scoring at least t.
+func ExampleFEXIPRO_SearchAbove() {
+	items := fexipro.MatrixFromRows([][]float64{
+		{1, 0}, {0.8, 0}, {0.5, 0}, {0.1, 0},
+	})
+	s, err := fexipro.New(items, fexipro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range s.SearchAbove([]float64{1, 0}, 0.5) {
+		fmt.Printf("item %d score %.1f\n", r.ID, r.Score)
+	}
+	// Output:
+	// item 0 score 1.0
+	// item 1 score 0.8
+	// item 2 score 0.5
+}
+
+// A mutable catalog: add and retire items with stable IDs.
+func ExampleNewDynamic() {
+	initial := fexipro.MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	d, err := fexipro.NewDynamic(initial, fexipro.Options{})
+	if err != nil {
+		panic(err)
+	}
+	id, err := d.Add([]float64{2, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("new item id:", id)
+	top := d.Search([]float64{1, 1}, 1)
+	fmt.Println("top item:", top[0].ID)
+	if err := d.Delete(id); err != nil {
+		panic(err)
+	}
+	top = d.Search([]float64{1, 1}, 1)
+	fmt.Println("after delete:", top[0].ID)
+	// Output:
+	// new item id: 2
+	// top item: 2
+	// after delete: 0
+}
+
+// All-pairs top-k: the strongest (user, item) affinities in the system.
+func ExampleTopPairs() {
+	users := fexipro.MatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	items := fexipro.MatrixFromRows([][]float64{{3, 0}, {0, 2}, {1, 1}})
+	pairs, err := fexipro.TopPairs(users, items, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("user %d × item %d = %.0f\n", p.User, p.Item, p.Score)
+	}
+	// Output:
+	// user 0 × item 0 = 3
+	// user 1 × item 1 = 2
+}

@@ -1,0 +1,74 @@
+// Catalog service: a day in the life of a production retrieval index.
+//
+// Real catalogs churn — new items launch, old ones retire — and
+// production queries mix top-k ("show me 10 picks") with above-threshold
+// ("show everything scored ≥ t"). This example drives the Dynamic index
+// through a churn workload, answers both query shapes, and finishes with
+// an all-pairs analysis (which user/item pair in the whole system has
+// the highest affinity — the AIP problem).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fexipro"
+)
+
+func main() {
+	ds, err := fexipro.GenerateDataset("movielens", 5000, 50, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := fexipro.NewDynamic(ds.Items, fexipro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2026))
+	fmt.Printf("catalog opens with %d items\n", catalog.Len())
+
+	// A week of churn: 500 launches, 300 retirements, queries throughout.
+	launched := []int{}
+	verified := 0
+	for day := 1; day <= 7; day++ {
+		for i := 0; i < 72; i++ {
+			item := make([]float64, 32)
+			for j := range item {
+				item[j] = 0.3 * rng.NormFloat64()
+			}
+			id, err := catalog.Add(item)
+			if err != nil {
+				log.Fatal(err)
+			}
+			launched = append(launched, id)
+		}
+		for i := 0; i < 43 && len(launched) > 0; i++ {
+			pick := rng.Intn(len(launched))
+			if err := catalog.Delete(launched[pick]); err != nil {
+				log.Fatal(err)
+			}
+			launched = append(launched[:pick], launched[pick+1:]...)
+		}
+
+		// Serve today's queries: top-k plus an above-threshold feed.
+		q := ds.Queries.Row(day)
+		top := catalog.Search(q, 5)
+		feedCut := top[len(top)-1].Score * 0.9
+		feed := catalog.SearchAbove(q, feedCut)
+		fmt.Printf("day %d: %5d items live; top pick item %5d (%.3f); %d items above %.3f\n",
+			day, catalog.Len(), top[0].ID, top[0].Score, len(feed), feedCut)
+		verified += len(top)
+	}
+
+	// Whole-system affinity analysis: the strongest (user, item) pairs.
+	pairs, err := fexipro.TopPairs(ds.Queries, ds.Items, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstrongest (user, item) affinities across the whole system:")
+	for rank, p := range pairs {
+		fmt.Printf("  #%d user %d × item %d → %.3f\n", rank+1, p.User, p.Item, p.Score)
+	}
+	fmt.Printf("\nserved %d verified recommendations over the week\n", verified)
+}

@@ -1,0 +1,132 @@
+// Package fexipro is a fast and exact top-k inner-product retrieval
+// library for matrix-factorization recommender systems, implementing the
+// FEXIPRO framework of Li, Chan, Yiu & Mamoulis (SIGMOD 2017) together
+// with every baseline evaluated in the paper.
+//
+// Given an item factor matrix P (n items × d latent dimensions) and a
+// user vector q, the library returns the k items with the largest inner
+// products qᵀp — exactly, typically an order of magnitude faster than a
+// full scan. FEXIPRO combines a sorted sequential scan with three
+// losslessly invertible transformations:
+//
+//   - an SVD rotation that concentrates each query's energy in the
+//     leading dimensions, making partial-product pruning effective,
+//   - a scaled integer approximation whose integer-arithmetic upper
+//     bound is checked before any floating-point work, and
+//   - a reduction to nonnegative coordinates that makes partial inner
+//     products monotone, yielding a second, tighter pruning bound.
+//
+// # Quick start
+//
+//	items := fexipro.MatrixFromRows(itemFactors) // n×d, rows are items
+//	s, err := fexipro.New(items, fexipro.Options{})
+//	if err != nil { ... }
+//	top := s.Search(userVector, 10)
+//	for _, r := range top {
+//	    fmt.Println(r.ID, r.Score)
+//	}
+//
+// Baselines (Naive, SS-L, BallTree, FastMKS, LEMP, PCATree, MiniBatch)
+// are available through the same Searcher interface for benchmarking and
+// verification; see the New* constructors.
+package fexipro
+
+import (
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Matrix is a dense row-major matrix of factor vectors: row i is the
+// d-dimensional vector of item (or user) i.
+type Matrix struct {
+	m *vec.Matrix
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{m: vec.NewMatrix(rows, cols)}
+}
+
+// MatrixFromRows copies a slice of equal-length rows into a Matrix.
+// It panics if the rows are ragged.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	return &Matrix{m: vec.FromRows(rows)}
+}
+
+// Rows returns the number of vectors.
+func (m *Matrix) Rows() int { return m.m.Rows }
+
+// Cols returns the dimensionality d.
+func (m *Matrix) Cols() int { return m.m.Cols }
+
+// Row returns row i as a slice aliasing the matrix storage; mutating it
+// mutates the matrix. Do not mutate a matrix after indexing it.
+func (m *Matrix) Row(i int) []float64 { return m.m.Row(i) }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.m.At(i, j) }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.m.Set(i, j, v) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix { return &Matrix{m: m.m.Clone()} }
+
+// Result is one retrieved item.
+type Result struct {
+	// ID is the row index of the item in the indexed matrix.
+	ID int
+	// Score is the inner product qᵀp (exact for all methods but PCATree,
+	// whose results are approximate by design).
+	Score float64
+}
+
+// Stats reports the work performed by the most recent Search call of a
+// Searcher, mirroring the instrumentation behind the paper's Tables 3/7.
+type Stats struct {
+	// Scanned is the number of candidates examined before termination.
+	Scanned int
+	// Pruned counts candidates eliminated by any bound without computing
+	// their full inner product.
+	Pruned int
+	// FullProducts is the number of entire qᵀp computations.
+	FullProducts int
+}
+
+// Searcher is the common interface of every retrieval method.
+type Searcher interface {
+	// Search returns the top-k inner products of q against the indexed
+	// items, sorted by descending score.
+	Search(q []float64, k int) []Result
+	// LastStats reports counters for the most recent Search call.
+	LastStats() Stats
+}
+
+// wrap adapts an internal searcher to the public interface.
+type wrap struct {
+	s search.Searcher
+}
+
+func (w wrap) Search(q []float64, k int) []Result {
+	return convertResults(w.s.Search(q, k))
+}
+
+func (w wrap) LastStats() Stats { return convertStats(w.s.Stats()) }
+
+func convertResults(in []topk.Result) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		out[i] = Result{ID: r.ID, Score: r.Score}
+	}
+	return out
+}
+
+func convertStats(st search.Stats) Stats {
+	return Stats{
+		Scanned: st.Scanned,
+		Pruned: st.PrunedByLength + st.PrunedByIntHead + st.PrunedByIntFull +
+			st.PrunedByIncremental + st.PrunedByMonotone,
+		FullProducts: st.FullProducts,
+	}
+}

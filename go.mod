@@ -1,0 +1,3 @@
+module fexipro
+
+go 1.22

@@ -1,0 +1,148 @@
+package aip_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fexipro/internal/aip"
+	"fexipro/internal/core"
+	"fexipro/internal/vec"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int, skew float64) *vec.Matrix {
+	m := vec.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		scale := math.Exp(skew * rng.NormFloat64())
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, scale*rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// bruteAIP computes the true top-k pairs by enumerating everything.
+func bruteAIP(users, items *vec.Matrix, k int) []aip.Pair {
+	var all []aip.Pair
+	for u := 0; u < users.Rows; u++ {
+		for i := 0; i < items.Rows; i++ {
+			all = append(all, aip.Pair{User: u, Item: i, Score: vec.Dot(users.Row(u), items.Row(i))})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Score > all[b].Score })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []struct{ m, n, d, k int }{
+		{10, 20, 4, 1}, {50, 80, 8, 10}, {30, 200, 16, 25}, {5, 5, 3, 100},
+	} {
+		users := randomMatrix(rng, shape.m, shape.d, 0.4)
+		items := randomMatrix(rng, shape.n, shape.d, 0.4)
+		got, err := aip.Exact(users, items, shape.k, core.Options{SVD: true, Int: true, Reduction: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAIP(users, items, shape.k)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: got %d pairs, want %d", shape, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-7*(1+math.Abs(want[i].Score)) {
+				t.Fatalf("%+v rank %d: %+v vs %+v", shape, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExactEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	users := randomMatrix(rng, 5, 4, 0)
+	items := randomMatrix(rng, 5, 4, 0)
+	if got, err := aip.Exact(users, items, 0, core.Options{}); err != nil || got != nil {
+		t.Fatalf("k=0: %v, %v", got, err)
+	}
+	if _, err := aip.Exact(users, randomMatrix(rng, 5, 3, 0), 1, core.Options{}); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+}
+
+func TestSampleFindsTopPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	users := randomMatrix(rng, 60, 8, 0.5)
+	items := randomMatrix(rng, 100, 8, 0.5)
+	// Plant a dominant pair so sampling must find it.
+	for j := 0; j < 8; j++ {
+		users.Set(0, j, 3)
+		items.Set(0, j, 3)
+	}
+	got, err := aip.Sample(users, items, 5, aip.SampleConfig{Samples: 200000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no pairs returned")
+	}
+	if got[0].User != 0 || got[0].Item != 0 {
+		t.Fatalf("planted pair not found: top = %+v", got[0])
+	}
+	// Scores must be exact inner products.
+	for _, p := range got {
+		exact := vec.Dot(users.Row(p.User), items.Row(p.Item))
+		if math.Abs(exact-p.Score) > 1e-9 {
+			t.Fatalf("score %v != exact %v", p.Score, exact)
+		}
+	}
+}
+
+func TestSampleRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	users := randomMatrix(rng, 80, 10, 0.6)
+	items := randomMatrix(rng, 120, 10, 0.6)
+	want := bruteAIP(users, items, 10)
+	got, err := aip.Sample(users, items, 10, aip.SampleConfig{Samples: 500000, Candidates: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrue := map[[2]int]bool{}
+	for _, p := range want {
+		inTrue[[2]int{p.User, p.Item}] = true
+	}
+	hits := 0
+	for _, p := range got {
+		if inTrue[[2]int{p.User, p.Item}] {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("sampling recall too low: %d/10 true top pairs found", hits)
+	}
+}
+
+func TestSampleZeroMatrices(t *testing.T) {
+	users := vec.NewMatrix(5, 4)
+	items := vec.NewMatrix(5, 4)
+	got, err := aip.Sample(users, items, 3, aip.SampleConfig{Samples: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("zero matrices should yield no candidates, got %v", got)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	users := randomMatrix(rng, 5, 4, 0)
+	if _, err := aip.Sample(users, randomMatrix(rng, 5, 3, 0), 1, aip.SampleConfig{}); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+	if got, err := aip.Sample(users, randomMatrix(rng, 5, 4, 0), 0, aip.SampleConfig{}); err != nil || got != nil {
+		t.Fatalf("k=0: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,43 @@
+package balltree
+
+import "fexipro/internal/vec"
+
+// CheckInvariants walks the tree validating that every node's bounding
+// ball actually covers its members and that leaves partition the item
+// set. It returns the total number of items found at leaves.
+func (t *Tree) CheckInvariants(fail func(format string, args ...any)) int {
+	seen := map[int]bool{}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.ids != nil {
+			for _, id := range n.ids {
+				if seen[id] {
+					fail("item %d appears in two leaves", id)
+				}
+				seen[id] = true
+				if d := vec.Dist(n.centroid, t.items.Row(id)); d > n.radius+1e-9 {
+					fail("item %d at distance %v outside ball radius %v", id, d, n.radius)
+				}
+			}
+			return len(n.ids)
+		}
+		if n.left == nil || n.right == nil {
+			fail("internal node with missing child")
+			return 0
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	total := walk(t.root)
+	// Parent coverage: every item's distance to root centroid ≤ root radius.
+	if t.root != nil {
+		for id := range seen {
+			if d := vec.Dist(t.root.centroid, t.items.Row(id)); d > t.root.radius+1e-9 {
+				fail("item %d outside root ball", id)
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+)
+
+// SearchAbove returns every item whose inner product with q is at least
+// t, sorted by descending score — the paper's "above-t" problem (its
+// Section 9 future work; the original LEMP task). The whole pruning
+// cascade applies unchanged because the threshold is constant: the
+// sorted scan stops at the first item with ‖q‖·‖p‖ < t, and
+// per-candidate bounds below t discard candidates without full products.
+func (r *Retriever) SearchAbove(q []float64, t float64) []topk.Result {
+	idx := r.idx
+	if len(q) != idx.d {
+		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
+	}
+	r.stats = search.Stats{}
+	qs := r.prepareQuery(q)
+	slack := idx.opts.PruneSlack
+
+	var out []topk.Result
+	for i := 0; i < idx.n; i++ {
+		if qs.qNorm*idx.norms[i] < t {
+			if !idx.opts.Unsorted {
+				r.stats.PrunedByLength += idx.n - i
+				break
+			}
+			r.stats.PrunedByLength++
+			continue
+		}
+		r.stats.Scanned++
+		// The cascade prunes only when a bound drops BELOW t (strictly,
+		// minus the safety margin), so items with qᵀp == t survive.
+		v, ok := r.coordinateScan(i, qs, t, slack)
+		if ok && v >= t {
+			out = append(out, topk.Result{ID: idx.perm[i], Score: v})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// DynamicIndex serves exact top-k retrieval over an item catalog that
+// changes online — the deployment reality (new items arrive, items are
+// retired) that a preprocessed index must absorb. It is a two-tier
+// design: a preprocessed FEXIPRO index over the bulk of the catalog, a
+// small unindexed delta buffer scanned exhaustively, and a tombstone set
+// for deletions. When the delta or tombstones exceed RebuildFraction of
+// the indexed size the main index is rebuilt (amortized O(d²) per
+// update, the same bound as the paper's per-query transformation cost).
+type DynamicIndex struct {
+	opts    Options
+	d       int
+	rebuild float64
+
+	items      *vec.Matrix // full catalog in insertion order (live + dead)
+	dead       map[int]bool
+	deadCount  int // total live→dead transitions ever
+	deadInMain int // deletions hitting the current main index since its build
+	main       *Index
+	mainRet    *Retriever
+	mainIDs    []int // catalog IDs covered by main (ascending; positions = index rows)
+	delta      []int // catalog IDs not yet in main
+	deltaItems [][]float64
+	stats      search.Stats
+}
+
+// DefaultRebuildFraction triggers a rebuild when pending changes exceed
+// 20% of the indexed items.
+const DefaultRebuildFraction = 0.2
+
+// NewDynamicIndex starts a dynamic index from an initial catalog (may be
+// empty: pass a 0×d matrix). rebuildFraction ≤ 0 selects the default.
+func NewDynamicIndex(initial *vec.Matrix, opts Options, rebuildFraction float64) (*DynamicIndex, error) {
+	if initial.Cols <= 0 {
+		return nil, fmt.Errorf("core: dynamic index needs a positive dimension, got %d", initial.Cols)
+	}
+	if rebuildFraction <= 0 {
+		rebuildFraction = DefaultRebuildFraction
+	}
+	di := &DynamicIndex{
+		opts:    opts.withDefaults(),
+		d:       initial.Cols,
+		rebuild: rebuildFraction,
+		items:   initial.Clone(),
+		dead:    make(map[int]bool),
+	}
+	if initial.Rows > 0 {
+		if err := di.rebuildMain(); err != nil {
+			return nil, err
+		}
+	}
+	return di, nil
+}
+
+// Len returns the number of live items.
+func (di *DynamicIndex) Len() int { return di.items.Rows - di.deadCount }
+
+// Add inserts an item and returns its stable catalog ID.
+func (di *DynamicIndex) Add(item []float64) (int, error) {
+	if len(item) != di.d {
+		return 0, fmt.Errorf("core: item dim %d != %d", len(item), di.d)
+	}
+	for s, v := range item {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("core: item coordinate %d is not finite", s)
+		}
+	}
+	id := di.items.Rows
+	grown := vec.NewMatrix(id+1, di.d)
+	copy(grown.Data, di.items.Data)
+	copy(grown.Row(id), item)
+	di.items = grown
+	di.delta = append(di.delta, id)
+	di.deltaItems = append(di.deltaItems, vec.Clone(item))
+	return id, di.maybeRebuild()
+}
+
+// Delete retires an item by catalog ID. Deleting an unknown or already
+// deleted ID is an error.
+func (di *DynamicIndex) Delete(id int) error {
+	if id < 0 || id >= di.items.Rows {
+		return fmt.Errorf("core: delete of unknown item %d", id)
+	}
+	if di.dead[id] {
+		return fmt.Errorf("core: item %d already deleted", id)
+	}
+	di.dead[id] = true
+	di.deadCount++
+	if di.inMain(id) {
+		di.deadInMain++
+	}
+	return di.maybeRebuild()
+}
+
+// inMain reports whether a catalog ID is covered by the current main
+// index (mainIDs is ascending by construction).
+func (di *DynamicIndex) inMain(id int) bool {
+	lo, hi := 0, len(di.mainIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case di.mainIDs[mid] == id:
+			return true
+		case di.mainIDs[mid] < id:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+func (di *DynamicIndex) maybeRebuild() error {
+	mainSize := len(di.mainIDs)
+	pending := len(di.delta) + di.deadInMain
+	if mainSize == 0 || float64(pending) > di.rebuild*float64(mainSize) {
+		return di.rebuildMain()
+	}
+	return nil
+}
+
+// rebuildMain folds the delta and drops tombstones into a fresh
+// preprocessed index.
+func (di *DynamicIndex) rebuildMain() error {
+	live := make([]int, 0, di.Len())
+	for id := 0; id < di.items.Rows; id++ {
+		if !di.dead[id] {
+			live = append(live, id)
+		}
+	}
+	di.delta = nil
+	di.deltaItems = nil
+	di.deadInMain = 0
+	if len(live) == 0 {
+		di.main, di.mainRet, di.mainIDs = nil, nil, nil
+		return nil
+	}
+	compact := vec.NewMatrix(len(live), di.d)
+	for row, id := range live {
+		copy(compact.Row(row), di.items.Row(id))
+	}
+	idx, err := NewIndex(compact, di.opts)
+	if err != nil {
+		return err
+	}
+	di.main = idx
+	di.mainRet = NewRetriever(idx)
+	di.mainIDs = live
+	// Tombstones for pre-rebuild IDs are now compacted away, but keep
+	// the dead set for ID-validity checks.
+	return nil
+}
+
+// Search returns the exact top-k over the live catalog; IDs are the
+// stable catalog IDs returned by Add (or initial row indices).
+func (di *DynamicIndex) Search(q []float64, k int) []topk.Result {
+	if len(q) != di.d {
+		panic(fmt.Sprintf("core: query dim %d != %d", len(q), di.d))
+	}
+	di.stats = search.Stats{}
+	c := topk.New(k)
+	// Scan the (small) delta buffer exhaustively first.
+	for pos, id := range di.delta {
+		if di.dead[id] {
+			continue
+		}
+		di.stats.Scanned++
+		di.stats.FullProducts++
+		c.Push(id, vec.Dot(q, di.deltaItems[pos]))
+	}
+	if di.mainRet != nil {
+		// Over-fetch so tombstoned rows inside main cannot starve the
+		// result set.
+		need := k + di.deadInMain
+		for _, r := range di.mainRet.Search(q, need) {
+			id := di.mainIDs[r.ID]
+			if di.dead[id] {
+				continue
+			}
+			c.Push(id, r.Score)
+		}
+		di.stats.Add(di.mainRet.Stats())
+	}
+	return c.Results()
+}
+
+// SearchAbove returns every live item with qᵀp ≥ t, sorted by descending
+// score.
+func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
+	if len(q) != di.d {
+		panic(fmt.Sprintf("core: query dim %d != %d", len(q), di.d))
+	}
+	di.stats = search.Stats{}
+	var out []topk.Result
+	for pos, id := range di.delta {
+		if di.dead[id] {
+			continue
+		}
+		di.stats.Scanned++
+		di.stats.FullProducts++
+		if v := vec.Dot(q, di.deltaItems[pos]); v >= t {
+			out = append(out, topk.Result{ID: id, Score: v})
+		}
+	}
+	if di.mainRet != nil {
+		for _, r := range di.mainRet.SearchAbove(q, t) {
+			id := di.mainIDs[r.ID]
+			if di.dead[id] {
+				continue
+			}
+			out = append(out, topk.Result{ID: id, Score: r.Score})
+		}
+		di.stats.Add(di.mainRet.Stats())
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Stats implements search.Searcher.
+func (di *DynamicIndex) Stats() search.Stats { return di.stats }
+
+var _ search.Searcher = (*DynamicIndex)(nil)

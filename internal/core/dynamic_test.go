@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/scan"
+	"fexipro/internal/searchtest"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// liveReference mirrors the dynamic index with a plain slice + naive scan.
+type liveReference struct {
+	items [][]float64
+	dead  map[int]bool
+}
+
+func (lr *liveReference) topK(q []float64, k int) []topk.Result {
+	rows := [][]float64{}
+	ids := []int{}
+	for id, it := range lr.items {
+		if !lr.dead[id] {
+			rows = append(rows, it)
+			ids = append(ids, id)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	res := scan.NewNaive(vec.FromRows(rows)).Search(q, k)
+	out := make([]topk.Result, len(res))
+	for i, r := range res {
+		out[i] = topk.Result{ID: ids[r.ID], Score: r.Score}
+	}
+	return out
+}
+
+func TestDynamicIndexRandomizedOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	d := 12
+	initial := vec.NewMatrix(100, d)
+	for i := range initial.Data {
+		initial.Data[i] = rng.NormFloat64()
+	}
+	di, err := core.NewDynamicIndex(initial, core.Options{SVD: true, Int: true, Reduction: true}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &liveReference{dead: map[int]bool{}}
+	for i := 0; i < 100; i++ {
+		ref.items = append(ref.items, vec.Clone(initial.Row(i)))
+	}
+
+	liveIDs := func() []int {
+		var out []int
+		for id := range ref.items {
+			if !ref.dead[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // add
+			item := make([]float64, d)
+			for j := range item {
+				item[j] = rng.NormFloat64()
+			}
+			id, err := di.Add(item)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != len(ref.items) {
+				t.Fatalf("step %d: id %d, want %d", step, id, len(ref.items))
+			}
+			ref.items = append(ref.items, vec.Clone(item))
+		case op < 6: // delete a random live item
+			live := liveIDs()
+			if len(live) <= 5 {
+				continue
+			}
+			id := live[rng.Intn(len(live))]
+			if err := di.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			ref.dead[id] = true
+		default: // query
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			k := 1 + rng.Intn(8)
+			got := di.Search(q, k)
+			want := ref.topK(q, k)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: got %d results, want %d", step, len(got), len(want))
+			}
+			for i := range want {
+				if diff := got[i].Score - want[i].Score; diff > 1e-7 || diff < -1e-7 {
+					t.Fatalf("step %d rank %d: %v vs %v", step, i, got[i], want[i])
+				}
+				if ref.dead[got[i].ID] {
+					t.Fatalf("step %d: returned deleted item %d", step, got[i].ID)
+				}
+			}
+		}
+	}
+	if di.Len() != len(liveIDs()) {
+		t.Fatalf("Len = %d, want %d", di.Len(), len(liveIDs()))
+	}
+}
+
+func TestDynamicIndexStartsEmpty(t *testing.T) {
+	di, err := core.NewDynamicIndex(vec.NewMatrix(0, 4), core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{1, 0, 0, 0}
+	if got := di.Search(q, 3); len(got) != 0 {
+		t.Fatalf("empty index returned %v", got)
+	}
+	id, err := di.Add([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := di.Search(q, 3)
+	if len(got) != 1 || got[0].ID != id {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDynamicIndexErrors(t *testing.T) {
+	if _, err := core.NewDynamicIndex(vec.NewMatrix(0, 0), core.Options{}, 0); err == nil {
+		t.Fatal("expected error for zero dim")
+	}
+	di, err := core.NewDynamicIndex(vec.NewMatrix(3, 2), core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := di.Add([]float64{1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if err := di.Delete(99); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+	if err := di.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := di.Delete(0); err == nil {
+		t.Fatal("expected double-delete error")
+	}
+}
+
+func TestDynamicIndexDeleteEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	items, q := searchtest.RandomInstance(rng, 20, 5)
+	di, err := core.NewDynamicIndex(items, core.Options{SVD: true}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 20; id++ {
+		if err := di.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if di.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", di.Len())
+	}
+	if got := di.Search(q, 5); len(got) != 0 {
+		t.Fatalf("search over empty catalog returned %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/scan"
+	"fexipro/internal/vec"
+)
+
+// floatsFromBytes decodes the fuzzer's byte soup into bounded floats.
+func floatsFromBytes(data []byte, max int) []float64 {
+	var out []float64
+	for len(data) >= 8 && len(out) < max {
+		bits := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		v := math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		// Clamp to a sane dynamic range; the algorithms assume finite
+		// well-scaled factors (MF output is in [-1,1]-ish ranges).
+		if v > 1e6 {
+			v = 1e6
+		}
+		if v < -1e6 {
+			v = -1e6
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzSearchMatchesNaive feeds arbitrary small item matrices and queries
+// through the full F-SIR cascade and cross-checks the naive scan.
+func FuzzSearchMatchesNaive(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3), uint8(2))
+	f.Add(make([]byte, 256), uint8(4), uint8(1))
+	seed := make([]byte, 800)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, kRaw uint8) {
+		d := int(dRaw%8) + 1
+		k := int(kRaw%5) + 1
+		vals := floatsFromBytes(data, 200)
+		n := len(vals) / (d + 1) // reserve one query vector
+		if n < 1 {
+			return
+		}
+		items := vec.NewMatrix(n, d)
+		copy(items.Data, vals[:n*d])
+		q := make([]float64, d)
+		copy(q, vals[n*d:])
+
+		idx, err := core.NewIndex(items, core.Options{SVD: true, Int: true, Reduction: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := core.NewRetriever(idx).Search(q, k)
+		want := scan.NewNaive(items).Search(q, k)
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d (n=%d d=%d k=%d)", len(got), len(want), n, d, k)
+		}
+		// The SVD transform is lossless in real arithmetic; in float64
+		// its absolute error scales with the COMPUTATION magnitude
+		// (‖items‖·‖q‖·d), not with the possibly tiny score itself.
+		scale := vec.AbsMax(items.Data) * vec.AbsMax(q) * float64(d)
+		tol := 1e-9 * (1 + scale)
+		for i := range want {
+			diff := math.Abs(got[i].Score - want[i].Score)
+			if diff > tol+1e-6*math.Abs(want[i].Score) {
+				t.Fatalf("rank %d: score %v, want %v (tol %v)", i, got[i].Score, want[i].Score, tol)
+			}
+		}
+	})
+}
+
+// FuzzIntegerBound checks Theorem 2 on arbitrary finite vectors.
+func FuzzIntegerBound(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add([]byte{255, 127, 0, 1, 128, 64, 32, 16, 8, 4, 2, 1, 99, 98, 97, 96})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := floatsFromBytes(data, 64)
+		if len(vals) < 2 {
+			return
+		}
+		half := len(vals) / 2
+		q, p := vals[:half], vals[half:2*half]
+		var iu, dot float64
+		for s := range q {
+			fq, fp := math.Floor(q[s]), math.Floor(p[s])
+			iu += fq*fp + math.Abs(fq) + math.Abs(fp) + 1
+			dot += q[s] * p[s]
+		}
+		if dot > iu+1e-6*(1+math.Abs(iu)) {
+			t.Fatalf("integer bound violated: dot %v > IU %v", dot, iu)
+		}
+	})
+}

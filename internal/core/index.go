@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/svd"
+	"fexipro/internal/vec"
+)
+
+// Index is a preprocessed FEXIPRO item index (the output of Algorithm 3).
+// It is immutable after construction and safe for concurrent Search calls
+// through separate Retriever values (see NewRetriever).
+type Index struct {
+	opts Options
+	n, d int
+	w    int
+
+	perm  []int     // perm[row] = original item ID (rows sorted by ‖p‖ desc)
+	norms []float64 // original ‖p‖ per sorted row
+
+	// Working representation: the SVD-transformed vectors p̄ when
+	// opts.SVD, otherwise the (sorted) original vectors.
+	bar     *vec.Matrix
+	barTail []float64 // ‖p̄^h‖ over coordinates w..d per row
+	thin    *svd.Thin // nil unless opts.SVD
+	sigma   []float64 // singular values (nil unless opts.SVD)
+
+	ints *intData // nil unless opts.Int
+	red  *redData // nil unless opts.Reduction
+}
+
+// intData holds the scaled integer approximation of Section 4.2 with the
+// separate head/tail scaling of Equation 7. Exactly one of floors
+// (int32) or floors16 (compact int16, Options.CompactInts) is populated.
+type intData struct {
+	e                    float64
+	maxHead, maxTail     float64 // max |p̄_s| over s<w resp. s≥w, across all items
+	floors               []int32 // n×d floors of the scaled vectors, row-major
+	floors16             []int16 // compact alternative to floors
+	sumAbsHead           []int64 // Σ_{s<w} |⌊p̂_s⌋| per row
+	sumAbsTail           []int64 // Σ_{s≥w} |⌊p̂_s⌋| per row
+	headScale, tailScale float64 // maxHead/e, maxTail/e — converts IU to a q̄-space factor
+}
+
+// redData holds the monotonicity-reduction preprocessing of Section 5.2.
+//
+// With c fixed, the reduced product collapses to an affine map of the
+// working-space product (the per-item Σ c_s·p̄_s terms cancel between
+// 2q́ᵀṕ and ‖ṕ‖²):
+//
+//	q̂̂ᵀp̂̂ = (2/‖q̄‖)·q̄ᵀp̄ + K_q,   K_q = −b² + Σc_s² + (2/‖q̄‖)·Σc_s·q̄_s
+//
+// so the threshold map t → t′ (Algorithm 4 line 17) is one affine map per
+// query, while the PARTIAL reduced product still needs per-item constants:
+//
+//	q̂̂^ℓᵀp̂̂^ℓ = (2/‖q̄‖)·v + headConstP[i] + headConstQ
+//
+// with v the exact partial product over the first w working dimensions.
+type redData struct {
+	c          []float64 // c_s ≥ max(1,|p̄min|), skewed like σ (Section 5.2)
+	b          float64   // max ‖p̄‖
+	sumC2      float64   // Σ c_s²
+	headConstP []float64 // −‖ṕ‖² + 2Σ_{s<w}(c_s·p̄_s + c_s²) per row
+	hhTail     []float64 // ‖p̂̂^h‖ = sqrt(Σ_{s≥w}(p̄_s+c_s)²) per row
+}
+
+// NewIndex preprocesses the item matrix (rows are item vectors) per
+// Algorithm 3. The input matrix is copied; the caller's data is never
+// modified.
+func NewIndex(items *vec.Matrix, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if items.Rows == 0 || items.Cols == 0 {
+		return nil, fmt.Errorf("core: empty item matrix %d×%d", items.Rows, items.Cols)
+	}
+	for i, v := range items.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: item matrix contains non-finite value at row %d col %d",
+				i/items.Cols, i%items.Cols)
+		}
+	}
+	idx := &Index{opts: opts, n: items.Rows, d: items.Cols}
+
+	// 1. Sort by decreasing original length (Algorithm 3 line 2) —
+	// unless the Unsorted ablation keeps the original order.
+	sorted := items.Clone()
+	if opts.Unsorted {
+		idx.perm = make([]int, sorted.Rows)
+		for i := range idx.perm {
+			idx.perm[i] = i
+		}
+	} else {
+		idx.perm = sorted.SortRowsByNormDesc()
+	}
+	idx.norms = sorted.RowNorms()
+
+	// 2. Thin SVD (line 3) and the working representation.
+	if opts.SVD {
+		thin, err := svd.Decompose(sorted, opts.RankTol)
+		if err != nil {
+			return nil, fmt.Errorf("core: SVD transformation failed: %w", err)
+		}
+		idx.thin = thin
+		idx.sigma = thin.Sigma
+		idx.bar = thin.V1
+	} else {
+		idx.bar = sorted
+	}
+
+	// 3. Checking dimension w (line 4).
+	idx.w = idx.chooseW()
+
+	// 4. Residual norms for incremental pruning (line 11).
+	idx.barTail = make([]float64, idx.n)
+	for i := 0; i < idx.n; i++ {
+		idx.barTail[i] = vec.NormRange(idx.bar.Row(i), idx.w, idx.d)
+	}
+
+	// 5. Integer approximation (line 8).
+	if opts.Int {
+		compact := opts.CompactInts && opts.E <= 16000
+		idx.ints = buildIntData(idx.bar, idx.w, opts.E, opts.GlobalIntScaling, compact)
+	}
+
+	// 6. Monotonicity reduction (line 9).
+	if opts.Reduction {
+		idx.red = buildRedData(idx.bar, idx.w, idx.sigma)
+	}
+	return idx, nil
+}
+
+// chooseW picks the checking dimension: the explicit override, else the
+// smallest w whose singular-value mass reaches ρ (Section 3), else d/5.
+func (idx *Index) chooseW() int {
+	d := idx.d
+	if idx.opts.W > 0 {
+		if idx.opts.W > d {
+			return d
+		}
+		return idx.opts.W
+	}
+	if d == 1 {
+		return 1
+	}
+	if idx.sigma != nil {
+		var total float64
+		for _, s := range idx.sigma {
+			total += s
+		}
+		if total > 0 {
+			var acc float64
+			for i, s := range idx.sigma {
+				acc += s
+				if acc >= idx.opts.Rho*total {
+					w := i + 1
+					if w >= d {
+						w = d - 1
+					}
+					return w
+				}
+			}
+		}
+		return d - 1
+	}
+	w := d / 5
+	if w < 1 {
+		w = 1
+	}
+	if w >= d {
+		w = d - 1
+	}
+	return w
+}
+
+// buildIntData scales the working vectors per Equation 7 (separate
+// head/tail maxima) — or Equation 4 (one global maximum) under the
+// GlobalIntScaling ablation — and stores their floors plus the per-row
+// Σ|⌊·⌋| terms of the integer bound (Theorem 2).
+func buildIntData(bar *vec.Matrix, w int, e float64, globalScaling, compact bool) *intData {
+	n, d := bar.Rows, bar.Cols
+	id := &intData{
+		e:          e,
+		sumAbsHead: make([]int64, n),
+		sumAbsTail: make([]int64, n),
+	}
+	if compact {
+		id.floors16 = make([]int16, n*d)
+	} else {
+		id.floors = make([]int32, n*d)
+	}
+	for i := 0; i < n; i++ {
+		row := bar.Row(i)
+		if h := vec.AbsMaxRange(row, 0, w); h > id.maxHead {
+			id.maxHead = h
+		}
+		if t := vec.AbsMaxRange(row, w, d); t > id.maxTail {
+			id.maxTail = t
+		}
+	}
+	if globalScaling {
+		m := math.Max(id.maxHead, id.maxTail)
+		id.maxHead, id.maxTail = m, m
+	}
+	id.headScale = id.maxHead / e
+	id.tailScale = id.maxTail / e
+	for i := 0; i < n; i++ {
+		row := bar.Row(i)
+		var sh, st int64
+		for s, v := range row {
+			var scaled float64
+			if s < w {
+				if id.maxHead > 0 {
+					scaled = e * v / id.maxHead
+				}
+			} else {
+				if id.maxTail > 0 {
+					scaled = e * v / id.maxTail
+				}
+			}
+			f := int32(math.Floor(scaled))
+			if compact {
+				id.floors16[i*d+s] = int16(f)
+			} else {
+				id.floors[i*d+s] = f
+			}
+			a := int64(f)
+			if a < 0 {
+				a = -a
+			}
+			if s < w {
+				sh += a
+			} else {
+				st += a
+			}
+		}
+		id.sumAbsHead[i] = sh
+		id.sumAbsTail[i] = st
+	}
+	return id
+}
+
+// buildRedData computes the Section 5.2 reduction constants over the
+// working vectors. sigma may be nil (no SVD); the c skew then defaults
+// to a constant shift.
+func buildRedData(bar *vec.Matrix, w int, sigma []float64) *redData {
+	n, d := bar.Rows, bar.Cols
+	rd := &redData{
+		c:          make([]float64, d),
+		headConstP: make([]float64, n),
+		hhTail:     make([]float64, n),
+	}
+
+	pmin := vec.Min(bar.Data)
+	base := math.Max(1, math.Abs(pmin))
+	// c_s = max(1,|p̄min|) + σ_s/σ_d — skewed like the singular values.
+	sigmaLast := 0.0
+	if sigma != nil {
+		for i := len(sigma) - 1; i >= 0; i-- {
+			if sigma[i] > 0 {
+				sigmaLast = sigma[i]
+				break
+			}
+		}
+	}
+	for s := 0; s < d; s++ {
+		ratio := 1.0
+		if sigma != nil && sigmaLast > 0 {
+			ratio = sigma[s] / sigmaLast
+		}
+		rd.c[s] = base + ratio
+		rd.sumC2 += rd.c[s] * rd.c[s]
+	}
+
+	// b = max ‖p̄‖ (the rows are sorted by ORIGINAL norm, which differs
+	// from the working norm under SVD, so take the true maximum).
+	for i := 0; i < n; i++ {
+		if nb := vec.Norm(bar.Row(i)); nb > rd.b {
+			rd.b = nb
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		row := bar.Row(i)
+		// ‖ṕ‖² = (b²−‖p̄‖²) + Σ(p̄_s+c_s)² = b² + 2Σc_s·p̄_s + Σc_s².
+		var sumCP, headCP, headC2, tailSq float64
+		for s, v := range row {
+			sumCP += rd.c[s] * v
+			if s < w {
+				headCP += rd.c[s] * v
+				headC2 += rd.c[s] * rd.c[s]
+			} else {
+				t := v + rd.c[s]
+				tailSq += t * t
+			}
+		}
+		pAcuteSq := rd.b*rd.b + 2*sumCP + rd.sumC2
+		rd.headConstP[i] = -pAcuteSq + 2*(headCP+headC2)
+		rd.hhTail[i] = math.Sqrt(tailSq)
+	}
+	return rd
+}
+
+// W returns the checking dimension chosen during preprocessing.
+func (idx *Index) W() int { return idx.w }
+
+// Dim returns the item dimensionality d.
+func (idx *Index) Dim() int { return idx.d }
+
+// Len returns the number of indexed items.
+func (idx *Index) Len() int { return idx.n }
+
+// Options returns the (defaulted) options the index was built with.
+func (idx *Index) Options() Options { return idx.opts }
+
+// SingularValues returns the singular values of the item matrix, or nil
+// when the SVD transformation is disabled. The slice must not be
+// modified.
+func (idx *Index) SingularValues() []float64 { return idx.sigma }

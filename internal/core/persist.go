@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fexipro/internal/svd"
+	"fexipro/internal/vec"
+)
+
+// Index persistence: preprocessing costs O(n·d²) (thin SVD plus derived
+// arrays), so a deployed service wants to preprocess once and load the
+// finished index at startup. The format ("FXI2") is a versioned,
+// little-endian dump of every Index field; Load rebuilds an Index that
+// answers queries identically to the one that was saved.
+
+const indexMagic = "FXI2"
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) raw(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *binWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	b.raw(buf[:])
+}
+
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+func (b *binWriter) bool(v bool)   { b.u64(boolToU64(v)) }
+func (b *binWriter) floats(v []float64) {
+	b.i64(int64(len(v)))
+	for _, x := range v {
+		b.f64(x)
+	}
+}
+func (b *binWriter) ints(v []int) {
+	b.i64(int64(len(v)))
+	for _, x := range v {
+		b.i64(int64(x))
+	}
+}
+func (b *binWriter) int64s(v []int64) {
+	b.i64(int64(len(v)))
+	for _, x := range v {
+		b.i64(x)
+	}
+}
+func (b *binWriter) matrix(m *vec.Matrix) {
+	if m == nil {
+		b.i64(-1)
+		return
+	}
+	b.i64(int64(m.Rows))
+	b.i64(int64(m.Cols))
+	for _, x := range m.Data {
+		b.f64(x)
+	}
+}
+
+func boolToU64(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) raw(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = io.ReadFull(b.r, p)
+}
+
+func (b *binReader) u64() uint64 {
+	var buf [8]byte
+	b.raw(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (b *binReader) i64() int64   { return int64(b.u64()) }
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+func (b *binReader) bool() bool   { return b.u64() != 0 }
+
+// length reads a slice length and validates it against a sane ceiling so
+// corrupted files fail cleanly instead of OOMing.
+func (b *binReader) length() int {
+	n := b.i64()
+	const maxLen = 1 << 31
+	if n < -1 || n > maxLen {
+		if b.err == nil {
+			b.err = fmt.Errorf("core: implausible length %d in index file", n)
+		}
+		return 0
+	}
+	return int(n)
+}
+
+func (b *binReader) floats() []float64 {
+	n := b.length()
+	if b.err != nil || n < 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b.f64()
+	}
+	return out
+}
+
+func (b *binReader) intsSlice() []int {
+	n := b.length()
+	if b.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(b.i64())
+	}
+	return out
+}
+
+func (b *binReader) int64s() []int64 {
+	n := b.length()
+	if b.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = b.i64()
+	}
+	return out
+}
+
+func (b *binReader) matrix() *vec.Matrix {
+	rows := b.i64()
+	if rows == -1 || b.err != nil {
+		return nil
+	}
+	cols := b.i64()
+	if b.err != nil {
+		return nil
+	}
+	if rows < 0 || cols < 0 || (cols > 0 && rows > (1<<33)/cols) {
+		b.err = fmt.Errorf("core: implausible matrix shape %d×%d in index file", rows, cols)
+		return nil
+	}
+	m := vec.NewMatrix(int(rows), int(cols))
+	for i := range m.Data {
+		m.Data[i] = b.f64()
+	}
+	return m
+}
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := &binWriter{w: bufio.NewWriter(cw)}
+	bw.raw([]byte(indexMagic))
+
+	o := idx.opts
+	bw.bool(o.SVD)
+	bw.bool(o.Int)
+	bw.bool(o.Reduction)
+	bw.f64(o.Rho)
+	bw.f64(o.E)
+	bw.i64(int64(o.W))
+	bw.f64(o.PruneSlack)
+	bw.f64(o.RankTol)
+	bw.bool(o.GlobalIntScaling)
+	bw.bool(o.ReductionFirst)
+	bw.bool(o.Unsorted)
+	bw.bool(o.CompactInts)
+
+	bw.i64(int64(idx.n))
+	bw.i64(int64(idx.d))
+	bw.i64(int64(idx.w))
+	bw.ints(idx.perm)
+	bw.floats(idx.norms)
+	bw.matrix(idx.bar)
+	bw.floats(idx.barTail)
+
+	if idx.thin != nil {
+		bw.bool(true)
+		bw.matrix(idx.thin.U)
+		bw.floats(idx.thin.Sigma)
+	} else {
+		bw.bool(false)
+	}
+
+	if id := idx.ints; id != nil {
+		bw.bool(true)
+		bw.f64(id.e)
+		bw.f64(id.maxHead)
+		bw.f64(id.maxTail)
+		bw.f64(id.headScale)
+		bw.f64(id.tailScale)
+		bw.bool(id.floors16 != nil)
+		if id.floors16 != nil {
+			bw.i64(int64(len(id.floors16)))
+			for _, f := range id.floors16 {
+				bw.i64(int64(f))
+			}
+		} else {
+			bw.i64(int64(len(id.floors)))
+			for _, f := range id.floors {
+				bw.i64(int64(f))
+			}
+		}
+		bw.int64s(id.sumAbsHead)
+		bw.int64s(id.sumAbsTail)
+	} else {
+		bw.bool(false)
+	}
+
+	if rd := idx.red; rd != nil {
+		bw.bool(true)
+		bw.floats(rd.c)
+		bw.f64(rd.b)
+		bw.f64(rd.sumC2)
+		bw.floats(rd.headConstP)
+		bw.floats(rd.hhTail)
+	} else {
+		bw.bool(false)
+	}
+
+	if bw.err == nil {
+		bw.err = bw.w.Flush()
+	}
+	return cw.n, bw.err
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	br.raw(magic)
+	if br.err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", br.err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %q, want %q", magic, indexMagic)
+	}
+
+	var o Options
+	o.SVD = br.bool()
+	o.Int = br.bool()
+	o.Reduction = br.bool()
+	o.Rho = br.f64()
+	o.E = br.f64()
+	o.W = int(br.i64())
+	o.PruneSlack = br.f64()
+	o.RankTol = br.f64()
+	o.GlobalIntScaling = br.bool()
+	o.ReductionFirst = br.bool()
+	o.Unsorted = br.bool()
+	o.CompactInts = br.bool()
+
+	idx := &Index{opts: o}
+	idx.n = int(br.i64())
+	idx.d = int(br.i64())
+	idx.w = int(br.i64())
+	idx.perm = br.intsSlice()
+	idx.norms = br.floats()
+	idx.bar = br.matrix()
+	idx.barTail = br.floats()
+
+	if br.bool() {
+		thin := &svd.Thin{U: br.matrix(), Sigma: br.floats()}
+		if idx.bar != nil {
+			thin.V1 = idx.bar
+		}
+		idx.thin = thin
+		idx.sigma = thin.Sigma
+	}
+
+	if br.bool() {
+		id := &intData{}
+		id.e = br.f64()
+		id.maxHead = br.f64()
+		id.maxTail = br.f64()
+		id.headScale = br.f64()
+		id.tailScale = br.f64()
+		compact := br.bool()
+		n := br.length()
+		if br.err == nil {
+			if compact {
+				id.floors16 = make([]int16, n)
+				for i := range id.floors16 {
+					id.floors16[i] = int16(br.i64())
+				}
+			} else {
+				id.floors = make([]int32, n)
+				for i := range id.floors {
+					id.floors[i] = int32(br.i64())
+				}
+			}
+		}
+		id.sumAbsHead = br.int64s()
+		id.sumAbsTail = br.int64s()
+		idx.ints = id
+	}
+
+	if br.bool() {
+		rd := &redData{}
+		rd.c = br.floats()
+		rd.b = br.f64()
+		rd.sumC2 = br.f64()
+		rd.headConstP = br.floats()
+		rd.hhTail = br.floats()
+		idx.red = rd
+	}
+
+	if br.err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", br.err)
+	}
+	if err := idx.validateLoaded(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// validateLoaded sanity-checks structural consistency of a deserialized
+// index so a truncated or corrupted file cannot cause panics later.
+func (idx *Index) validateLoaded() error {
+	if idx.n <= 0 || idx.d <= 0 || idx.w < 1 || idx.w > idx.d {
+		return fmt.Errorf("core: loaded index has invalid shape n=%d d=%d w=%d", idx.n, idx.d, idx.w)
+	}
+	if idx.bar == nil || idx.bar.Rows != idx.n || idx.bar.Cols != idx.d {
+		return fmt.Errorf("core: loaded index matrix shape mismatch")
+	}
+	if len(idx.perm) != idx.n || len(idx.norms) != idx.n || len(idx.barTail) != idx.n {
+		return fmt.Errorf("core: loaded index per-item arrays mismatch n=%d", idx.n)
+	}
+	if idx.opts.SVD && (idx.thin == nil || idx.thin.U == nil || idx.thin.U.Rows != idx.d || len(idx.thin.Sigma) != idx.d) {
+		return fmt.Errorf("core: loaded index missing SVD data")
+	}
+	if idx.opts.Int {
+		id := idx.ints
+		if id == nil || (len(id.floors) != idx.n*idx.d && len(id.floors16) != idx.n*idx.d) ||
+			len(id.sumAbsHead) != idx.n || len(id.sumAbsTail) != idx.n {
+			return fmt.Errorf("core: loaded index missing integer data")
+		}
+	}
+	if idx.opts.Reduction {
+		rd := idx.red
+		if rd == nil || len(rd.c) != idx.d || len(rd.headConstP) != idx.n || len(rd.hhTail) != idx.n {
+			return fmt.Errorf("core: loaded index missing reduction data")
+		}
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Retriever executes top-k queries against an Index (Algorithm 4). Each
+// Retriever owns scratch buffers and stats for one query at a time, so
+// concurrent queries need separate Retrievers over the same shared Index.
+type Retriever struct {
+	idx   *Index
+	stats search.Stats
+
+	// scratch, reused across queries
+	qbar      []float64
+	qFloors   []int32
+	qFloors16 []int16
+}
+
+// NewRetriever returns a query executor for the index.
+func NewRetriever(idx *Index) *Retriever {
+	r := &Retriever{idx: idx, qbar: make([]float64, idx.d)}
+	if id := idx.ints; id != nil {
+		if id.floors16 != nil {
+			r.qFloors16 = make([]int16, idx.d)
+		} else {
+			r.qFloors = make([]int32, idx.d)
+		}
+	}
+	return r
+}
+
+// Stats implements search.Searcher for the most recent query.
+func (r *Retriever) Stats() search.Stats { return r.stats }
+
+// queryState holds the per-query derived quantities of Algorithm 4
+// lines 5–9.
+type queryState struct {
+	qNorm   float64 // ‖q‖ in the original space (used with the original ‖p‖ for Cauchy–Schwarz)
+	barNorm float64 // ‖q̄‖ in the working space
+	barTail float64 // ‖q̄^h‖ over coordinates w..d
+
+	// Integer part.
+	intOK       bool
+	qSumAbsHead int64
+	qSumAbsTail int64
+	headFactor  float64 // maxq^ℓ·maxP^ℓ/e², converts head IU to a bound on q̄^ℓᵀp̄^ℓ
+	tailFactor  float64
+
+	// Reduction part.
+	redOK      bool
+	invBarNorm float64 // 1/‖q̄‖
+	headConstQ float64 // (2/‖q̄‖)·Σ_{s<w} c_s·q̄_s
+	hhTailQ    float64 // ‖q̂̂^h‖ = 2·sqrt(Σ_{s≥w}(q̄_s/‖q̄‖+c_s)²)
+	kq         float64 // affine offset of the threshold map t → t′
+}
+
+// Search returns the exact top-k inner products of q with the indexed
+// items (Algorithm 4). Scores are computed in the working space; with the
+// SVD transformation enabled they equal the original inner products up to
+// float64 rounding (Theorem 1).
+func (r *Retriever) Search(q []float64, k int) []topk.Result {
+	idx := r.idx
+	if len(q) != idx.d {
+		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
+	}
+	r.stats = search.Stats{}
+	c := topk.New(k)
+	if k <= 0 {
+		return nil
+	}
+
+	qs := r.prepareQuery(q)
+	slack := idx.opts.PruneSlack
+
+	for i := 0; i < idx.n; i++ {
+		t := c.Threshold()
+		if qs.qNorm*idx.norms[i] <= t {
+			if !idx.opts.Unsorted {
+				// Sorted by length: nothing later can qualify either.
+				r.stats.PrunedByLength += idx.n - i
+				break
+			}
+			r.stats.PrunedByLength++
+			continue
+		}
+		r.stats.Scanned++
+		v, ok := r.coordinateScan(i, qs, t, slack)
+		if ok && v > t {
+			c.Push(idx.perm[i], v)
+		}
+	}
+	return c.Results()
+}
+
+// prepareQuery transforms q into the working space and precomputes every
+// per-query constant used by the staged pruning tests.
+func (r *Retriever) prepareQuery(q []float64) queryState {
+	idx := r.idx
+	var qs queryState
+	qs.qNorm = vec.Norm(q)
+
+	if idx.thin != nil {
+		bar := idx.thin.TransformQuery(q)
+		copy(r.qbar, bar)
+	} else {
+		copy(r.qbar, q)
+	}
+	qbar := r.qbar
+	qs.barNorm = vec.Norm(qbar)
+	qs.barTail = vec.NormRange(qbar, idx.w, idx.d)
+
+	if id := idx.ints; id != nil {
+		qs.intOK = true
+		maxQHead := vec.AbsMaxRange(qbar, 0, idx.w)
+		maxQTail := vec.AbsMaxRange(qbar, idx.w, idx.d)
+		for s, v := range qbar {
+			var scaled float64
+			if s < idx.w {
+				if maxQHead > 0 {
+					scaled = id.e * v / maxQHead
+				}
+			} else {
+				if maxQTail > 0 {
+					scaled = id.e * v / maxQTail
+				}
+			}
+			f := int32(math.Floor(scaled))
+			if r.qFloors16 != nil {
+				r.qFloors16[s] = int16(f)
+			} else {
+				r.qFloors[s] = f
+			}
+			a := int64(f)
+			if a < 0 {
+				a = -a
+			}
+			if s < idx.w {
+				qs.qSumAbsHead += a
+			} else {
+				qs.qSumAbsTail += a
+			}
+		}
+		qs.headFactor = maxQHead * id.headScale / id.e
+		qs.tailFactor = maxQTail * id.tailScale / id.e
+	}
+
+	if rd := idx.red; rd != nil && qs.barNorm > 0 {
+		qs.redOK = true
+		qs.invBarNorm = 1 / qs.barNorm
+		var headCQ, tailSq, sumCQ float64
+		for s, v := range qbar {
+			u := v*qs.invBarNorm + rd.c[s]
+			sumCQ += rd.c[s] * v
+			if s < idx.w {
+				headCQ += rd.c[s] * v
+			} else {
+				tailSq += u * u
+			}
+		}
+		qs.headConstQ = 2 * headCQ * qs.invBarNorm
+		qs.hhTailQ = 2 * math.Sqrt(tailSq)
+		qs.kq = -rd.b*rd.b + rd.sumC2 + 2*sumCQ*qs.invBarNorm
+	}
+	return qs
+}
+
+// coordinateScan is Algorithm 5: the staged pruning cascade for one
+// candidate. It returns the exact working-space product and true, or
+// (0, false) when the candidate was pruned.
+func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (float64, bool) {
+	idx := r.idx
+	w, d := idx.w, idx.d
+	qbar := r.qbar
+	row := idx.bar.Row(i)
+	margin := slack * (math.Abs(t) + 1)
+	ub1 := qs.barTail * idx.barTail[i]
+
+	// Lines 2–8: integer upper bounds, partial (Eq. 6) then full (Eq. 3).
+	// Under the ReductionFirst (SRI-order) ablation these move after the
+	// reduction bound, where only the tail part remains useful.
+	var bHead float64
+	if qs.intOK && !idx.opts.ReductionFirst {
+		id := idx.ints
+		iuHead := r.intDot(i, 0, w) + qs.qSumAbsHead + id.sumAbsHead[i] + int64(w)
+		bHead = float64(iuHead) * qs.headFactor
+		if bHead+ub1 <= t-margin {
+			r.stats.PrunedByIntHead++
+			return 0, false
+		}
+		if w < d {
+			iuTail := r.intDot(i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
+			bTail := float64(iuTail) * qs.tailFactor
+			if bHead+bTail <= t-margin {
+				r.stats.PrunedByIntFull++
+				return 0, false
+			}
+		}
+	}
+
+	// Lines 9–13: exact partial product + Eq. 1 incremental pruning.
+	if w >= d {
+		r.stats.FullProducts++
+		return vec.Dot(qbar, row), true
+	}
+	v := vec.DotRange(qbar, row, 0, w)
+	if v+ub1 <= t-margin {
+		r.stats.PrunedByIncremental++
+		return 0, false
+	}
+
+	// Lines 14–17: monotonicity-reduction pruning in the reduced space.
+	if qs.redOK {
+		rd := idx.red
+		hhPartial := 2*v*qs.invBarNorm + rd.headConstP[i] + qs.headConstQ
+		ub2 := qs.hhTailQ * rd.hhTail[i]
+		if !math.IsInf(t, -1) {
+			tPrime := 2*t*qs.invBarNorm + qs.kq
+			hhMargin := slack * (math.Abs(tPrime) + 1)
+			if hhPartial+ub2 <= tPrime-hhMargin {
+				r.stats.PrunedByMonotone++
+				return 0, false
+			}
+		}
+	}
+
+	// SRI-order ablation: with the exact head v in hand, only the tail
+	// integer bound can still avoid the remaining d−w multiplications.
+	if qs.intOK && idx.opts.ReductionFirst {
+		id := idx.ints
+		iuTail := r.intDot(i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
+		bTail := float64(iuTail) * qs.tailFactor
+		if v+bTail <= t-margin {
+			r.stats.PrunedByIntFull++
+			return 0, false
+		}
+	}
+
+	// Lines 18–20: finish the exact product.
+	r.stats.FullProducts++
+	return v + vec.DotRange(qbar, row, w, d), true
+}
+
+// intDot computes ⌊q̂⌋·⌊p̂ᵢ⌋ over coordinates [lo,hi) against either the
+// int32 or the compact int16 floor storage.
+func (r *Retriever) intDot(i, lo, hi int) int64 {
+	d := r.idx.d
+	id := r.idx.ints
+	base := i * d
+	if id.floors16 != nil {
+		return vec.DotInt16(r.qFloors16[lo:hi], id.floors16[base+lo:base+hi])
+	}
+	return vec.DotInt64(r.qFloors[lo:hi], id.floors[base+lo:base+hi])
+}
+
+var _ search.Searcher = (*Retriever)(nil)

@@ -1,0 +1,202 @@
+// Package covertree implements the FastMKS baseline (Curtin, Ram & Gray):
+// exact max-kernel search over a cover-tree-style metric hierarchy, with
+// the linear kernel K(q,p) = qᵀp used in the paper's evaluation.
+//
+// Construction follows the cover-tree spirit — a hierarchy of
+// representatives whose covering radii shrink geometrically with the
+// paper's base 1.3 — built by greedy farthest-point (k-center) selection,
+// which is deterministic and O(n·branching·depth). Search correctness
+// does not depend on the cover invariants: every node stores the EXACT
+// maximum distance from its representative to any descendant, so the
+// FastMKS bound
+//
+//	max_{p ∈ desc(n)} qᵀp ≤ qᵀx_n + ‖q‖·maxDescDist(n)
+//
+// always dominates, and branch-and-bound returns exact top-k results.
+package covertree
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Base is the cover-tree expansion constant used in the paper (1.3).
+const Base = 1.3
+
+// DefaultLeafSize bounds the number of points enumerated at a leaf.
+const DefaultLeafSize = 20
+
+// Tree is an immutable cover-tree max-kernel index.
+type Tree struct {
+	items    *vec.Matrix
+	root     *node
+	leafSize int
+	stats    search.Stats
+}
+
+type node struct {
+	id          int     // representative item
+	maxDescDist float64 // exact max distance from items[id] to any descendant
+	children    []*node
+	leafIDs     []int // non-nil for leaves: all covered items (incl. id)
+	size        int   // number of items in the subtree
+}
+
+// New builds the index over items (referenced, not copied). leafSize ≤ 0
+// selects DefaultLeafSize.
+func New(items *vec.Matrix, leafSize int) *Tree {
+	if leafSize <= 0 {
+		leafSize = DefaultLeafSize
+	}
+	t := &Tree{items: items, leafSize: leafSize}
+	if items.Rows == 0 {
+		return t
+	}
+	ids := make([]int, items.Rows)
+	for i := range ids {
+		ids[i] = i
+	}
+	t.root = t.build(ids[0], ids)
+	return t
+}
+
+// build creates the subtree rooted at representative rep covering ids
+// (which includes rep). Children representatives are chosen by greedy
+// farthest-point selection until every point lies within the child
+// radius, which shrinks by the expansion base per level.
+func (t *Tree) build(rep int, ids []int) *node {
+	n := &node{id: rep, size: len(ids)}
+	repRow := t.items.Row(rep)
+	var maxD float64
+	for _, id := range ids {
+		if d := vec.Dist(repRow, t.items.Row(id)); d > maxD {
+			maxD = d
+		}
+	}
+	n.maxDescDist = maxD
+	if len(ids) <= t.leafSize || maxD == 0 {
+		n.leafIDs = ids
+		return n
+	}
+
+	// Child radius: shrink the covering radius by the expansion base.
+	childRadius := maxD / Base
+
+	// Greedy k-center: representatives start with rep itself; repeatedly
+	// promote the point farthest from all current representatives until
+	// everything is covered within childRadius.
+	reps := []int{rep}
+	distToReps := make([]float64, len(ids)) // min distance to chosen reps
+	for i, id := range ids {
+		distToReps[i] = vec.Dist(repRow, t.items.Row(id))
+	}
+	for {
+		far, farDist := -1, childRadius
+		for i := range ids {
+			if distToReps[i] > farDist {
+				far, farDist = i, distToReps[i]
+			}
+		}
+		if far < 0 {
+			break
+		}
+		newRep := ids[far]
+		reps = append(reps, newRep)
+		newRow := t.items.Row(newRep)
+		for i, id := range ids {
+			if d := vec.Dist(newRow, t.items.Row(id)); d < distToReps[i] {
+				distToReps[i] = d
+			}
+		}
+	}
+
+	// Assign each point to its nearest representative.
+	groups := make(map[int][]int, len(reps))
+	for _, id := range ids {
+		row := t.items.Row(id)
+		best, bestD := reps[0], math.Inf(1)
+		for _, r := range reps {
+			if d := vec.DistSquared(row, t.items.Row(r)); d < bestD {
+				best, bestD = r, d
+			}
+		}
+		groups[best] = append(groups[best], id)
+	}
+	if len(groups) <= 1 {
+		// Could not split (pathological duplicates): finish as a leaf.
+		n.leafIDs = ids
+		return n
+	}
+	for _, r := range reps {
+		g := groups[r]
+		if len(g) == 0 {
+			continue
+		}
+		n.children = append(n.children, t.build(r, g))
+	}
+	return n
+}
+
+// Search implements search.Searcher via best-bound-first branch and bound.
+func (t *Tree) Search(q []float64, k int) []topk.Result {
+	if t.items.Rows > 0 && len(q) != t.items.Cols {
+		panic(fmt.Sprintf("covertree: query dim %d != item dim %d", len(q), t.items.Cols))
+	}
+	t.stats = search.Stats{}
+	c := topk.New(k)
+	if t.root != nil && k > 0 {
+		t.descend(t.root, q, vec.Norm(q), c)
+	}
+	return c.Results()
+}
+
+func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
+	t.stats.NodesVisited++
+	if n.leafIDs != nil {
+		for _, id := range n.leafIDs {
+			t.stats.Scanned++
+			t.stats.FullProducts++
+			c.Push(id, vec.Dot(q, t.items.Row(id)))
+		}
+		return
+	}
+	// Order children by decreasing bound, prune those below threshold.
+	type scored struct {
+		child *node
+		bound float64
+	}
+	order := make([]scored, 0, len(n.children))
+	for _, ch := range n.children {
+		b := vec.Dot(q, t.items.Row(ch.id)) + qNorm*ch.maxDescDist
+		order = append(order, scored{ch, b})
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].bound > order[j-1].bound; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, s := range order {
+		if s.bound <= c.Threshold() {
+			t.stats.PrunedByLength += s.child.size
+			continue
+		}
+		t.descend(s.child, q, qNorm, c)
+	}
+}
+
+// Stats implements search.Searcher.
+func (t *Tree) Stats() search.Stats { return t.stats }
+
+// Size returns the number of indexed items.
+func (t *Tree) Size() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.size
+}
+
+var _ search.Searcher = (*Tree)(nil)

@@ -1,0 +1,42 @@
+package covertree
+
+import "fexipro/internal/vec"
+
+// CheckInvariants validates that every node's maxDescDist really covers
+// all its descendants (the property branch-and-bound correctness rests
+// on) and that the leaves partition the items. Returns the leaf total.
+func (t *Tree) CheckInvariants(fail func(format string, args ...any)) int {
+	seen := map[int]bool{}
+	var collect func(n *node) []int
+	collect = func(n *node) []int {
+		if n == nil {
+			return nil
+		}
+		if n.leafIDs != nil {
+			for _, id := range n.leafIDs {
+				if seen[id] {
+					fail("item %d appears in two leaves", id)
+				}
+				seen[id] = true
+			}
+			return n.leafIDs
+		}
+		var all []int
+		for _, ch := range collectChildren(n) {
+			all = append(all, collect(ch)...)
+		}
+		rep := t.items.Row(n.id)
+		for _, id := range all {
+			if d := vec.Dist(rep, t.items.Row(id)); d > n.maxDescDist+1e-9 {
+				fail("descendant %d at %v exceeds maxDescDist %v of node %d", id, d, n.maxDescDist, n.id)
+			}
+		}
+		if n.size != len(all) {
+			fail("node %d size %d != descendant count %d", n.id, n.size, len(all))
+		}
+		return all
+	}
+	return len(collect(t.root))
+}
+
+func collectChildren(n *node) []*node { return n.children }

@@ -1,0 +1,91 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"fexipro/internal/vec"
+)
+
+// Rating is one observed (user, item, value) triple.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// RatingConfig controls synthetic rating generation for the learning-phase
+// substrate (internal/mf). Ratings are produced from ground-truth factors
+// plus Gaussian noise, then clipped to [1, Scale] — the standard planted
+// low-rank model.
+type RatingConfig struct {
+	Users, Items int
+	// Rank of the planted factors.
+	Dim int
+	// PerUser is the expected number of rated items per user.
+	PerUser int
+	// Noise is the standard deviation of the additive rating noise.
+	Noise float64
+	// Scale is the rating ceiling (5 for all paper datasets).
+	Scale float64
+	Seed  int64
+}
+
+// PlantedRatings generates ratings from a random planted low-rank model
+// and returns the triples along with the ground-truth user and item
+// factor matrices (rows are vectors). The ground truth lets tests check
+// that the MF trainer recovers predictive accuracy rather than just
+// driving training error down.
+func PlantedRatings(cfg RatingConfig) (ratings []Rating, users, items *vec.Matrix) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	center := cfg.Scale / 2
+	// Factor scale so that qᵀp spreads around the rating midpoint.
+	fs := math.Sqrt(center / float64(cfg.Dim))
+	users = gaussianMatrix(cfg.Users, cfg.Dim, fs, rng)
+	items = gaussianMatrix(cfg.Items, cfg.Dim, fs, rng)
+
+	ratings = make([]Rating, 0, cfg.Users*cfg.PerUser)
+	prob := float64(cfg.PerUser) / float64(cfg.Items)
+	for u := 0; u < cfg.Users; u++ {
+		urow := users.Row(u)
+		for i := 0; i < cfg.Items; i++ {
+			if rng.Float64() >= prob {
+				continue
+			}
+			v := center + vec.Dot(urow, items.Row(i)) + cfg.Noise*rng.NormFloat64()
+			if v < 1 {
+				v = 1
+			}
+			if v > cfg.Scale {
+				v = cfg.Scale
+			}
+			ratings = append(ratings, Rating{User: u, Item: i, Value: v})
+		}
+	}
+	return ratings, users, items
+}
+
+func gaussianMatrix(rows, cols int, scale float64, rng *rand.Rand) *vec.Matrix {
+	m := vec.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = scale * rng.NormFloat64()
+	}
+	return m
+}
+
+// SplitRatings partitions ratings into train/test with the given test
+// fraction, deterministically for a seed.
+func SplitRatings(ratings []Rating, testFrac float64, seed int64) (train, test []Rating) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, r := range ratings {
+		if rng.Float64() < testFrac {
+			test = append(test, r)
+		} else {
+			train = append(train, r)
+		}
+	}
+	return train, test
+}

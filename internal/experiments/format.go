@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple text-aligned table builder used to mirror the
+// paper's tables on stdout.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(t.header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as seconds with sensible precision.
+func Seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}
+
+// Histogram bins values into n equal-width buckets and renders an ASCII
+// bar chart (the stand-in for the paper's distribution figures).
+func Histogram(title string, values []float64, bins int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(values) == 0 || bins <= 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		fmt.Fprintf(&b, "all %d values equal %.4g\n", len(values), lo)
+		return b.String()
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, v := range values {
+		i := int((v - lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		barLen := 0
+		if maxCount > 0 {
+			barLen = c * 50 / maxCount
+		}
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d %s\n",
+			lo+float64(i)*width, lo+float64(i+1)*width, c, strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Series renders aligned (x, y...) columns — the textual form of the
+// paper's line plots.
+func Series(title string, xLabel string, x []float64, yLabels []string, ys [][]float64) string {
+	t := NewTable(title, append([]string{xLabel}, yLabels...)...)
+	for i, xv := range x {
+		row := []string{fmt.Sprintf("%g", xv)}
+		for _, y := range ys {
+			row = append(row, fmt.Sprintf("%.6g", y[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

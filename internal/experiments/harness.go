@@ -1,0 +1,167 @@
+// Package experiments is the reproduction harness for the paper's
+// evaluation (Section 7 and Appendix B): it builds each retrieval method
+// over the calibrated synthetic datasets, times preprocessing and
+// retrieval, collects pruning counters, and formats results as the
+// paper's tables and figures. It is shared by cmd/fexbench and the
+// repository's testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fexipro/internal/balltree"
+	"fexipro/internal/core"
+	"fexipro/internal/covertree"
+	"fexipro/internal/data"
+	"fexipro/internal/lemp"
+	"fexipro/internal/scan"
+	"fexipro/internal/search"
+	"fexipro/internal/vec"
+)
+
+// Config controls workload sizes. Zero values select per-profile bench
+// defaults (Table 2 sizes, except Yahoo which is scaled to 100k items).
+type Config struct {
+	// Profiles to evaluate; nil = all four in paper order.
+	Profiles []string
+	// Items, Queries, Dim override the profile defaults when > 0.
+	Items, Queries, Dim int
+}
+
+func (c Config) profiles() []data.Profile {
+	if len(c.Profiles) == 0 {
+		return data.Profiles()
+	}
+	out := make([]data.Profile, 0, len(c.Profiles))
+	for _, name := range c.Profiles {
+		p, err := data.ProfileByName(name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Load generates the dataset for one profile under this config.
+func (c Config) Load(p data.Profile) *data.Dataset {
+	return data.Generate(p, c.Items, c.Queries, c.Dim)
+}
+
+// Methods in the order of Table 4.
+var MethodNames = []string{"Naive", "BallTree", "FastMKS", "SS-L", "F-S", "F-I", "F-SI", "F-SR", "F-SIR"}
+
+// Built couples a constructed searcher with its preprocessing time.
+type Built struct {
+	Name       string
+	Searcher   search.Searcher
+	Preprocess time.Duration
+}
+
+// tuningSamples is how many sample queries the LEMP-style w tuning uses;
+// LEMP's preprocessing works with "a small number of sample queries".
+const tuningSamples = 5
+
+// Build constructs the named method over the items. SS-L and LEMP use
+// (the first few) sampleQueries for w tuning when provided.
+func Build(name string, items *vec.Matrix, sampleQueries *vec.Matrix) (Built, error) {
+	sampleQueries = firstRows(sampleQueries, tuningSamples)
+	start := time.Now()
+	var s search.Searcher
+	switch name {
+	case "Naive":
+		s = scan.NewNaive(items)
+	case "SS":
+		s = scan.NewSS(items, 0)
+	case "SS-L":
+		s = scan.NewSSL(items, scan.SSLOptions{SampleQueries: sampleQueries})
+	case "BallTree":
+		s = balltree.New(items, 0)
+	case "FastMKS":
+		s = covertree.New(items, 0)
+	case "LEMP":
+		s = lemp.New(items, lemp.Options{SampleQueries: sampleQueries})
+	default:
+		opts, err := core.OptionsForVariant(name)
+		if err != nil {
+			return Built{}, fmt.Errorf("experiments: unknown method %q", name)
+		}
+		idx, err := core.NewIndex(items, opts)
+		if err != nil {
+			return Built{}, err
+		}
+		s = core.NewRetriever(idx)
+	}
+	return Built{Name: name, Searcher: s, Preprocess: time.Since(start)}, nil
+}
+
+// QueryCost records one query's work for the distribution figures.
+type QueryCost struct {
+	Duration     time.Duration
+	FullProducts int
+}
+
+// RunResult aggregates one method over one workload.
+type RunResult struct {
+	Method       string
+	Dataset      string
+	K            int
+	Preprocess   time.Duration
+	Retrieve     time.Duration
+	AvgFullIP    float64 // Tables 3 and 7
+	Stats        search.Stats
+	PerQuery     []QueryCost
+	QueriesCount int
+}
+
+// Run executes every query of the dataset at k against a built method.
+func Run(b Built, ds *data.Dataset, k int, collectPerQuery bool) RunResult {
+	r := RunResult{
+		Method:       b.Name,
+		Dataset:      ds.Profile.Name,
+		K:            k,
+		Preprocess:   b.Preprocess,
+		QueriesCount: ds.Queries.Rows,
+	}
+	if collectPerQuery {
+		r.PerQuery = make([]QueryCost, 0, ds.Queries.Rows)
+	}
+	var totalFull int
+	start := time.Now()
+	for i := 0; i < ds.Queries.Rows; i++ {
+		qStart := time.Now()
+		b.Searcher.Search(ds.Queries.Row(i), k)
+		st := b.Searcher.Stats()
+		totalFull += st.FullProducts
+		r.Stats.Add(st)
+		if collectPerQuery {
+			r.PerQuery = append(r.PerQuery, QueryCost{
+				Duration:     time.Since(qStart),
+				FullProducts: st.FullProducts,
+			})
+		}
+	}
+	r.Retrieve = time.Since(start)
+	if ds.Queries.Rows > 0 {
+		r.AvgFullIP = float64(totalFull) / float64(ds.Queries.Rows)
+	}
+	return r
+}
+
+// firstRows returns a view of at most n leading rows of m (nil-safe).
+func firstRows(m *vec.Matrix, n int) *vec.Matrix {
+	if m == nil || m.Rows <= n {
+		return m
+	}
+	return &vec.Matrix{Rows: n, Cols: m.Cols, Data: m.Data[:n*m.Cols]}
+}
+
+// RunMethod builds and runs a method over a dataset in one call.
+func RunMethod(name string, ds *data.Dataset, k int, collectPerQuery bool) (RunResult, error) {
+	b, err := Build(name, ds.Items, ds.Queries)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return Run(b, ds, k, collectPerQuery), nil
+}

@@ -1,0 +1,106 @@
+package lemp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// SearchAbove answers LEMP's original problem for one query: every item
+// with qᵀp ≥ t, sorted by descending score. Buckets are visited in
+// decreasing max-norm order and the scan stops at the first bucket whose
+// best possible product is below t.
+func (idx *Index) SearchAbove(q []float64, t float64) []topk.Result {
+	if len(q) != idx.d {
+		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", len(q), idx.d))
+	}
+	idx.stats = search.Stats{}
+	qNorm := vec.Norm(q)
+	var out []topk.Result
+	if qNorm == 0 {
+		if t <= 0 {
+			for bi := range idx.buckets {
+				b := &idx.buckets[bi]
+				for _, id := range b.ids {
+					out = append(out, topk.Result{ID: id, Score: 0})
+				}
+			}
+			sortAboveResults(out)
+		}
+		return out
+	}
+	qUnit := vec.Scaled(q, 1/qNorm)
+
+	for bi := range idx.buckets {
+		b := &idx.buckets[bi]
+		if qNorm*b.maxNorm < t {
+			for _, rest := range idx.buckets[bi:] {
+				idx.stats.PrunedByLength += len(rest.ids)
+			}
+			break
+		}
+		idx.scanBucketAbove(b, qUnit, qNorm, t, &out)
+	}
+	sortAboveResults(out)
+	return out
+}
+
+func (idx *Index) scanBucketAbove(b *bucket, qUnit []float64, qNorm, t float64, out *[]topk.Result) {
+	d := idx.d
+	w := b.w
+	qTail := vec.NormRange(qUnit, w, d)
+	for i := 0; i < b.unit.Rows; i++ {
+		lenBound := qNorm * b.norms[i]
+		if lenBound < t {
+			idx.stats.PrunedByLength += b.unit.Rows - i
+			return
+		}
+		idx.stats.Scanned++
+		theta := math.Inf(-1)
+		if lenBound > 0 {
+			theta = t / lenBound
+		}
+		row := b.unit.Row(i)
+		var cos float64
+		if w < d {
+			cos = vec.DotRange(qUnit, row, 0, w)
+			if cos+qTail*b.tailNorms[i] < theta {
+				idx.stats.PrunedByIncremental++
+				continue
+			}
+			cos += vec.DotRange(qUnit, row, w, d)
+		} else {
+			cos = vec.Dot(qUnit, row)
+		}
+		idx.stats.FullProducts++
+		if v := cos * lenBound; v >= t {
+			*out = append(*out, topk.Result{ID: b.ids[i], Score: v})
+		}
+	}
+}
+
+// AboveJoin answers the batch above-t task: for every query row, all
+// items with product ≥ t.
+func (idx *Index) AboveJoin(queries *vec.Matrix, t float64) [][]topk.Result {
+	out := make([][]topk.Result, queries.Rows)
+	var acc search.Stats
+	for i := 0; i < queries.Rows; i++ {
+		out[i] = idx.SearchAbove(queries.Row(i), t)
+		acc.Add(idx.stats)
+	}
+	idx.stats = acc
+	return out
+}
+
+func sortAboveResults(rs []topk.Result) {
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].Score != rs[b].Score {
+			return rs[a].Score > rs[b].Score
+		}
+		return rs[a].ID < rs[b].ID
+	})
+}

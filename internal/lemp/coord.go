@@ -1,0 +1,83 @@
+package lemp
+
+import "math"
+
+// Strategy selects the per-bucket pruning machinery, mirroring LEMP's
+// strategy families: LI (length + incremental pruning, the paper's
+// LEMP-LI configuration — the default) or COORD (additionally uses
+// per-bucket coordinate bounds to skip whole buckets and a focus-
+// coordinate test per candidate, LEMP-C style).
+type Strategy int
+
+const (
+	// StrategyLI is length + incremental pruning (LEMP-LI).
+	StrategyLI Strategy = iota
+	// StrategyCoord adds coordinate-based bucket skipping and candidate
+	// tests (LEMP-C on top of LI).
+	StrategyCoord
+)
+
+// coordBounds holds per-dimension extrema of a bucket's NORMALIZED
+// vectors, plus the bucket's smallest original norm: for any p' in the
+// bucket, p'_s ∈ [lo_s, hi_s], so
+//
+//	cos(q', p') ≤ Σ_s max(q'_s·hi_s, q'_s·lo_s)
+//
+// bounds the best cosine any member can reach — one O(d) evaluation that
+// can skip the entire bucket.
+type coordBounds struct {
+	lo, hi  []float64
+	minNorm float64
+}
+
+func buildCoordBounds(b *bucket) *coordBounds {
+	d := b.unit.Cols
+	cb := &coordBounds{
+		lo:      make([]float64, d),
+		hi:      make([]float64, d),
+		minNorm: b.norms[len(b.norms)-1],
+	}
+	for s := 0; s < d; s++ {
+		cb.lo[s] = math.Inf(1)
+		cb.hi[s] = math.Inf(-1)
+	}
+	for i := 0; i < b.unit.Rows; i++ {
+		row := b.unit.Row(i)
+		for s, v := range row {
+			if v < cb.lo[s] {
+				cb.lo[s] = v
+			}
+			if v > cb.hi[s] {
+				cb.hi[s] = v
+			}
+		}
+	}
+	return cb
+}
+
+// cosUpperBound returns the best cosine any bucket member can achieve
+// with the unit query.
+func (cb *coordBounds) cosUpperBound(qUnit []float64) float64 {
+	var ub float64
+	for s, q := range qUnit {
+		a, b := q*cb.hi[s], q*cb.lo[s]
+		if a > b {
+			ub += a
+		} else {
+			ub += b
+		}
+	}
+	if ub > 1 {
+		ub = 1 // cosines cannot exceed 1
+	}
+	return ub
+}
+
+// bucketBound converts the cosine bound into an inner-product bound over
+// the bucket, handling the negative-cosine case via the smallest norm.
+func (cb *coordBounds) bucketBound(qNorm, maxNorm, cosUB float64) float64 {
+	if cosUB >= 0 {
+		return qNorm * maxNorm * cosUB
+	}
+	return qNorm * cb.minNorm * cosUB
+}

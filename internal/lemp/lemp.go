@@ -1,0 +1,303 @@
+// Package lemp implements the LEMP batch top-k inner-product join of
+// Teflioudi, Gemulla & Mykytiuk (SIGMOD 2015) — the state-of-the-art
+// batch baseline the paper compares against in Table 6 (LEMP-LI: length
+// plus incremental pruning).
+//
+// Preprocessing sorts the item vectors by decreasing length and packs
+// consecutive runs into buckets sized to stay cache-resident. Each bucket
+// stores its normalized vectors and tunes its own checking dimension w on
+// sample queries. A query q with current threshold t visits buckets in
+// order, stops as soon as ‖q‖·maxnorm(bucket) ≤ t, and inside a bucket
+// prunes candidates with the length test and the incremental cosine test
+// before finishing any inner product.
+package lemp
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// DefaultBucketSize keeps a bucket of 50-dimensional float64 vectors
+// around 100 KiB — comfortably inside L2, the sizing rule LEMP uses.
+const DefaultBucketSize = 256
+
+// Options configures index construction.
+type Options struct {
+	// BucketSize is the number of vectors per bucket (default 256).
+	BucketSize int
+	// W fixes the checking dimension for every bucket; ≤ 0 tunes per
+	// bucket on SampleQueries or falls back to d/5.
+	W int
+	// SampleQueries drives per-bucket w tuning when W ≤ 0.
+	SampleQueries *vec.Matrix
+	// Strategy selects the pruning family (default StrategyLI).
+	Strategy Strategy
+}
+
+// Index is an immutable LEMP index.
+type Index struct {
+	d        int
+	strategy Strategy
+	buckets  []bucket
+	stats    search.Stats
+}
+
+type bucket struct {
+	unit      *vec.Matrix // normalized vectors
+	norms     []float64   // original lengths, descending
+	ids       []int       // original item IDs
+	w         int
+	tailNorms []float64 // ‖p'^h‖ per vector at the bucket's w
+	maxNorm   float64
+	coord     *coordBounds // non-nil under StrategyCoord
+}
+
+// New builds the index over items (rows are item vectors; copied).
+func New(items *vec.Matrix, opts Options) *Index {
+	if opts.BucketSize <= 0 {
+		opts.BucketSize = DefaultBucketSize
+	}
+	sorted := items.Clone()
+	perm := sorted.SortRowsByNormDesc()
+	norms := sorted.RowNorms()
+	d := sorted.Cols
+
+	idx := &Index{d: d, strategy: opts.Strategy}
+	for start := 0; start < sorted.Rows; start += opts.BucketSize {
+		end := start + opts.BucketSize
+		if end > sorted.Rows {
+			end = sorted.Rows
+		}
+		b := bucket{
+			unit:  vec.NewMatrix(end-start, d),
+			norms: make([]float64, end-start),
+			ids:   make([]int, end-start),
+		}
+		for i := start; i < end; i++ {
+			row := b.unit.Row(i - start)
+			copy(row, sorted.Row(i))
+			if norms[i] > 0 {
+				vec.Scale(row, 1/norms[i])
+			}
+			b.norms[i-start] = norms[i]
+			b.ids[i-start] = perm[i]
+		}
+		b.maxNorm = b.norms[0]
+		if opts.Strategy == StrategyCoord {
+			b.coord = buildCoordBounds(&b)
+		}
+		idx.buckets = append(idx.buckets, b)
+	}
+
+	for i := range idx.buckets {
+		b := &idx.buckets[i]
+		switch {
+		case opts.W > 0:
+			b.setW(min(opts.W, d))
+		case opts.SampleQueries != nil && d > 1:
+			b.tuneW(opts.SampleQueries)
+		default:
+			b.setW(defaultW(d))
+		}
+	}
+	return idx
+}
+
+func defaultW(d int) int {
+	w := d / 5
+	if w < 1 {
+		w = 1
+	}
+	if w >= d {
+		w = d
+	}
+	return w
+}
+
+func (b *bucket) setW(w int) {
+	d := b.unit.Cols
+	b.w = w
+	b.tailNorms = make([]float64, b.unit.Rows)
+	for i := range b.tailNorms {
+		b.tailNorms[i] = vec.NormRange(b.unit.Row(i), w, d)
+	}
+}
+
+// tuneW picks the w minimizing the modeled scan cost on the samples: for
+// each sample's unit vector, count dimensions that incremental pruning at
+// w would touch against a mid-bucket threshold.
+func (b *bucket) tuneW(samples *vec.Matrix) {
+	d := b.unit.Cols
+	candidates := []int{}
+	for _, frac := range []int{10, 5, 3, 2} {
+		w := d / frac
+		if w < 1 {
+			w = 1
+		}
+		if w >= d {
+			w = d - 1
+		}
+		if len(candidates) == 0 || candidates[len(candidates)-1] != w {
+			candidates = append(candidates, w)
+		}
+	}
+	bestW, bestCost := candidates[0], math.Inf(1)
+	for _, w := range candidates {
+		b.setW(w)
+		var cost float64
+		for s := 0; s < samples.Rows; s++ {
+			q := samples.Row(s)
+			qn := vec.Norm(q)
+			if qn == 0 {
+				continue
+			}
+			qu := vec.Scaled(q, 1/qn)
+			quTail := vec.NormRange(qu, w, d)
+			// Model a moderately selective threshold: 60% of the best
+			// possible product in this bucket.
+			theta := 0.6
+			for i := 0; i < b.unit.Rows; i++ {
+				cost += float64(w)
+				partial := vec.DotRange(qu, b.unit.Row(i), 0, w)
+				if partial+quTail*b.tailNorms[i] > theta {
+					cost += float64(d - w)
+				}
+			}
+		}
+		if cost < bestCost {
+			bestCost, bestW = cost, w
+		}
+	}
+	b.setW(bestW)
+}
+
+// Search implements search.Searcher for a single query.
+func (idx *Index) Search(q []float64, k int) []topk.Result {
+	if len(q) != idx.d {
+		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", len(q), idx.d))
+	}
+	idx.stats = search.Stats{}
+	c := topk.New(k)
+	if k == 0 {
+		return nil
+	}
+	qNorm := vec.Norm(q)
+	if qNorm == 0 {
+		for bi := range idx.buckets {
+			b := &idx.buckets[bi]
+			for i := range b.ids {
+				if c.Len() >= k {
+					break
+				}
+				c.Push(b.ids[i], 0)
+			}
+		}
+		return c.Results()
+	}
+	qUnit := vec.Scaled(q, 1/qNorm)
+
+	// Focus coordinate for the COORD candidate test.
+	var focus int
+	var qf, qRest float64
+	if idx.strategy == StrategyCoord {
+		for j := 1; j < idx.d; j++ {
+			if math.Abs(qUnit[j]) > math.Abs(qUnit[focus]) {
+				focus = j
+			}
+		}
+		qf = qUnit[focus]
+		qRest = math.Sqrt(math.Max(0, 1-qf*qf))
+	}
+
+	for bi := range idx.buckets {
+		b := &idx.buckets[bi]
+		t := c.Threshold()
+		if qNorm*b.maxNorm <= t {
+			for _, rest := range idx.buckets[bi:] {
+				idx.stats.PrunedByLength += len(rest.ids)
+			}
+			break
+		}
+		// COORD: one O(d) bound may rule out the whole bucket without
+		// stopping the scan (later buckets can still qualify).
+		if b.coord != nil && !math.IsInf(t, -1) {
+			cosUB := b.coord.cosUpperBound(qUnit)
+			if b.coord.bucketBound(qNorm, b.maxNorm, cosUB) <= t {
+				idx.stats.PrunedByIncremental += len(b.ids)
+				continue
+			}
+		}
+		idx.scanBucket(b, qUnit, qNorm, focus, qf, qRest, c)
+	}
+	return c.Results()
+}
+
+func (idx *Index) scanBucket(b *bucket, qUnit []float64, qNorm float64, focus int, qf, qRest float64, c *topk.Collector) {
+	d := idx.d
+	w := b.w
+	qTail := vec.NormRange(qUnit, w, d)
+	for i := 0; i < b.unit.Rows; i++ {
+		t := c.Threshold()
+		lenBound := qNorm * b.norms[i]
+		if lenBound <= t {
+			idx.stats.PrunedByLength += b.unit.Rows - i
+			return
+		}
+		idx.stats.Scanned++
+		theta := math.Inf(-1)
+		if !math.IsInf(t, -1) {
+			theta = t / lenBound
+		}
+		row := b.unit.Row(i)
+		if b.coord != nil {
+			// LEMP-C focus-coordinate test: a single multiplication per
+			// candidate before any partial dot product.
+			pf := row[focus]
+			if qf*pf+qRest*math.Sqrt(math.Max(0, 1-pf*pf)) <= theta {
+				idx.stats.PrunedByIncremental++
+				continue
+			}
+		}
+		var cos float64
+		if w < d {
+			cos = vec.DotRange(qUnit, row, 0, w)
+			if cos+qTail*b.tailNorms[i] <= theta {
+				idx.stats.PrunedByIncremental++
+				continue
+			}
+			cos += vec.DotRange(qUnit, row, w, d)
+		} else {
+			cos = vec.Dot(qUnit, row)
+		}
+		idx.stats.FullProducts++
+		if v := cos * lenBound; v > t {
+			c.Push(b.ids[i], v)
+		}
+	}
+}
+
+// Stats implements search.Searcher (counters of the most recent Search;
+// for TopKJoin they accumulate over the whole batch).
+func (idx *Index) Stats() search.Stats { return idx.stats }
+
+// TopKJoin answers the paper's batch task: the top-k list for every
+// query row. Queries are processed in descending-norm order internally
+// (LEMP's locality optimization) but results are returned in input order.
+func (idx *Index) TopKJoin(queries *vec.Matrix, k int) [][]topk.Result {
+	out := make([][]topk.Result, queries.Rows)
+	ordered := queries.Clone()
+	perm := ordered.SortRowsByNormDesc()
+	var acc search.Stats
+	for i := 0; i < ordered.Rows; i++ {
+		out[perm[i]] = idx.Search(ordered.Row(i), k)
+		acc.Add(idx.stats)
+	}
+	idx.stats = acc
+	return out
+}
+
+var _ search.Searcher = (*Index)(nil)

@@ -1,0 +1,148 @@
+// Package metrics implements the standard top-k recommendation quality
+// measures (Precision@k, Recall@k, NDCG@k, and the paper's RMSE@k) used
+// to evaluate the end-to-end system: the learning phase fixes WHAT the
+// scores are, the retrieval phase must surface the items with the
+// highest scores, and these metrics quantify both.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/topk"
+)
+
+// PrecisionAtK returns |recommended ∩ relevant| / k. Fewer than k
+// recommendations are treated as a list padded with misses, matching
+// the standard definition.
+func PrecisionAtK(recommended []topk.Result, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[r.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns |recommended ∩ relevant| / |relevant| (0 when there
+// are no relevant items).
+func RecallAtK(recommended []topk.Result, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[r.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain of the
+// recommendation list against binary relevance.
+func NDCGAtK(recommended []topk.Result, relevant map[int]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	var dcg float64
+	for i, r := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[r.ID] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := len(relevant)
+	if ideal > k {
+		ideal = k
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// RMSEAtK is the paper's Appendix-B list-quality metric: the
+// root-mean-square difference between the scores of a recommended list
+// and the optimal list, averaged over queries. Both list slices must be
+// indexed per query; shorter recommended lists are padded with score 0.
+func RMSEAtK(recommended, optimal [][]topk.Result, k int) (float64, error) {
+	if len(recommended) != len(optimal) {
+		return 0, fmt.Errorf("metrics: %d recommended lists vs %d optimal", len(recommended), len(optimal))
+	}
+	var se float64
+	var count int
+	for qi := range optimal {
+		opt := optimal[qi]
+		if len(opt) > k {
+			opt = opt[:k]
+		}
+		for i, o := range opt {
+			var got float64
+			if i < len(recommended[qi]) {
+				got = recommended[qi][i].Score
+			}
+			d := got - o.Score
+			se += d * d
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(se / float64(count)), nil
+}
+
+// MeanAveragePrecision returns MAP@k over a batch of queries with
+// per-query relevance sets.
+func MeanAveragePrecision(recommended [][]topk.Result, relevant []map[int]bool, k int) (float64, error) {
+	if len(recommended) != len(relevant) {
+		return 0, fmt.Errorf("metrics: %d lists vs %d relevance sets", len(recommended), len(relevant))
+	}
+	if len(recommended) == 0 {
+		return 0, nil
+	}
+	var total float64
+	for qi := range recommended {
+		total += averagePrecision(recommended[qi], relevant[qi], k)
+	}
+	return total / float64(len(recommended)), nil
+}
+
+func averagePrecision(recommended []topk.Result, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	var hits int
+	var sum float64
+	for i, r := range recommended {
+		if i >= k {
+			break
+		}
+		if relevant[r.ID] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	denom := len(relevant)
+	if denom > k {
+		denom = k
+	}
+	return sum / float64(denom)
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fexipro/internal/topk"
+)
+
+func list(ids ...int) []topk.Result {
+	out := make([]topk.Result, len(ids))
+	for i, id := range ids {
+		out[i] = topk.Result{ID: id, Score: float64(len(ids) - i)}
+	}
+	return out
+}
+
+func relevance(ids ...int) map[int]bool {
+	m := map[int]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rec := list(1, 2, 3, 4)
+	rel := relevance(2, 4, 9)
+	if got := PrecisionAtK(rec, rel, 2); got != 0.5 {
+		t.Fatalf("P@2 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(rec, rel, 4); got != 0.5 {
+		t.Fatalf("P@4 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(rec, rel, 0); got != 0 {
+		t.Fatalf("P@0 = %v", got)
+	}
+	// Short list counts misses against k.
+	if got := PrecisionAtK(list(2), rel, 4); got != 0.25 {
+		t.Fatalf("P@4 short = %v, want 0.25", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	rec := list(1, 2, 3, 4)
+	rel := relevance(2, 4, 9)
+	if got := RecallAtK(rec, rel, 4); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("R@4 = %v, want 2/3", got)
+	}
+	if got := RecallAtK(rec, nil, 4); got != 0 {
+		t.Fatalf("R@4 empty relevance = %v", got)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	// Perfect ranking → NDCG = 1.
+	if got := NDCGAtK(list(1, 2), relevance(1, 2), 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %v", got)
+	}
+	// Relevant item at rank 2 only: DCG = 1/log2(3), IDCG = 1.
+	got := NDCGAtK(list(9, 1), relevance(1), 2)
+	want := 1 / math.Log2(3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NDCG = %v, want %v", got, want)
+	}
+	if got := NDCGAtK(nil, relevance(1), 2); got != 0 {
+		t.Fatalf("empty list NDCG = %v", got)
+	}
+}
+
+func TestRMSEAtK(t *testing.T) {
+	opt := [][]topk.Result{{{ID: 1, Score: 3}, {ID: 2, Score: 2}}}
+	same := [][]topk.Result{{{ID: 1, Score: 3}, {ID: 2, Score: 2}}}
+	got, err := RMSEAtK(same, opt, 2)
+	if err != nil || got != 0 {
+		t.Fatalf("identical lists RMSE = %v, %v", got, err)
+	}
+	off := [][]topk.Result{{{ID: 9, Score: 2}, {ID: 8, Score: 1}}}
+	got, err = RMSEAtK(off, opt, 2)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("off-by-one RMSE = %v, want 1", got)
+	}
+	if _, err := RMSEAtK(nil, opt, 2); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	// Short recommended list pads with zero scores.
+	short := [][]topk.Result{{{ID: 1, Score: 3}}}
+	got, _ = RMSEAtK(short, opt, 2)
+	if math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("short-list RMSE = %v, want √2", got)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	rec := [][]topk.Result{list(1, 9, 2), list(7)}
+	rel := []map[int]bool{relevance(1, 2), relevance(5)}
+	got, err := MeanAveragePrecision(rec, rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query 1: hits at ranks 1 and 3 → AP = (1/1 + 2/3)/2 = 5/6.
+	// Query 2: no hits → 0. MAP = 5/12.
+	if math.Abs(got-5.0/12) > 1e-12 {
+		t.Fatalf("MAP = %v, want 5/12", got)
+	}
+	if _, err := MeanAveragePrecision(rec, rel[:1], 3); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	empty, err := MeanAveragePrecision(nil, nil, 3)
+	if err != nil || empty != 0 {
+		t.Fatalf("empty MAP = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,212 @@
+package mf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fexipro/internal/data"
+	"fexipro/internal/vec"
+)
+
+// Model holds the learned factors: Users is m×d (row u is the factor
+// vector of user u, the paper's q), Items is n×d (row i is item i's p).
+type Model struct {
+	Users, Items *vec.Matrix
+	// GlobalBias is added to every prediction (the rating midpoint).
+	GlobalBias float64
+}
+
+// Predict returns the predicted rating of user u for item i.
+func (m *Model) Predict(u, i int) float64 {
+	return m.GlobalBias + vec.Dot(m.Users.Row(u), m.Items.Row(i))
+}
+
+// RMSE evaluates the model on a rating set.
+func (m *Model) RMSE(ratings []data.Rating) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	var se float64
+	for _, r := range ratings {
+		e := r.Value - m.Predict(r.User, r.Item)
+		se += e * e
+	}
+	return math.Sqrt(se / float64(len(ratings)))
+}
+
+// CCDConfig configures the CCD++ trainer (Yu et al., ICDM 2012 — the
+// LIBPMF algorithm the paper uses for its learning phase).
+type CCDConfig struct {
+	Dim        int     // factorization rank d
+	Lambda     float64 // L2 regularization weight
+	OuterIters int     // passes over all d factors
+	InnerIters int     // alternating u/v refinements per factor
+	Seed       int64
+	// CenterRatings subtracts the mean rating before factorizing and
+	// stores it in Model.GlobalBias, which is how MF is deployed in
+	// practice; retrieval operates on the factors only.
+	CenterRatings bool
+}
+
+// DefaultCCDConfig returns the settings used across this repository's
+// examples and tests.
+func DefaultCCDConfig(dim int) CCDConfig {
+	return CCDConfig{Dim: dim, Lambda: 0.05, OuterIters: 10, InnerIters: 3, Seed: 1, CenterRatings: true}
+}
+
+// TrainCCD factorizes the ratings with CCD++ rank-one coordinate descent.
+//
+// CCD++ sweeps the d latent factors; for factor t it adds the current
+// rank-one term back into the residual, then alternately refits the user
+// column u and item column v in closed form:
+//
+//	u_i = Σ_{j∈Ω_i} R̂_ij·v_j / (λ·|Ω_i| + Σ_{j∈Ω_i} v_j²)
+//
+// and symmetrically for v, before subtracting the refreshed rank-one
+// term. The residual is kept in both user-major and item-major order,
+// linked by a position map so one update writes both views.
+func TrainCCD(ratings []data.Rating, numUsers, numItems int, cfg CCDConfig) (*Model, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("mf: CCD dim must be positive, got %d", cfg.Dim)
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("mf: no ratings to factorize")
+	}
+
+	var bias float64
+	if cfg.CenterRatings {
+		for _, r := range ratings {
+			bias += r.Value
+		}
+		bias /= float64(len(ratings))
+	}
+	centered := make([]data.Rating, len(ratings))
+	for i, r := range ratings {
+		r.Value -= bias
+		centered[i] = r
+	}
+
+	userCSR, err := NewCSR(centered, numUsers, numItems)
+	if err != nil {
+		return nil, err
+	}
+	itemCSR := userCSR.Transpose()
+	// toUser[p] is the user-major position of item-major position p.
+	toUser := transposePositionMap(userCSR)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &Model{
+		Users:      vec.NewMatrix(numUsers, cfg.Dim),
+		Items:      vec.NewMatrix(numItems, cfg.Dim),
+		GlobalBias: bias,
+	}
+	// Small random init for item factors; users start at zero so the
+	// initial residual equals the centered ratings exactly.
+	for i := range model.Items.Data {
+		model.Items.Data[i] = 0.1 * rng.NormFloat64()
+	}
+
+	// Residuals (user-major shared storage; item-major view via toUser).
+	resU := make([]float64, userCSR.NNZ())
+	copy(resU, userCSR.Val)
+
+	u := make([]float64, numUsers)
+	v := make([]float64, numItems)
+
+	for outer := 0; outer < cfg.OuterIters; outer++ {
+		for t := 0; t < cfg.Dim; t++ {
+			for i := 0; i < numUsers; i++ {
+				u[i] = model.Users.At(i, t)
+			}
+			for j := 0; j < numItems; j++ {
+				v[j] = model.Items.At(j, t)
+			}
+			// Add the rank-one term back: R̂ += u·vᵀ on observed entries.
+			addRankOne(userCSR, resU, u, v, +1)
+
+			for inner := 0; inner < cfg.InnerIters; inner++ {
+				solveColumn(userCSR, resU, nil, u, v, cfg.Lambda)    // refit u given v
+				solveColumn(itemCSR, resU, toUser, v, u, cfg.Lambda) // refit v given u
+			}
+
+			addRankOne(userCSR, resU, u, v, -1)
+			for i := 0; i < numUsers; i++ {
+				model.Users.Set(i, t, u[i])
+			}
+			for j := 0; j < numItems; j++ {
+				model.Items.Set(j, t, v[j])
+			}
+		}
+	}
+	return model, nil
+}
+
+// transposePositionMap returns, for each position in the transpose's
+// item-major layout, the matching position in the user-major layout.
+func transposePositionMap(userCSR *CSR) []int {
+	m := make([]int, userCSR.NNZ())
+	// Count per item, prefix sum — mirrors Transpose's fill order.
+	ptr := make([]int, userCSR.NumCols+1)
+	for _, c := range userCSR.ColIdx {
+		ptr[c+1]++
+	}
+	for i := 0; i < userCSR.NumCols; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	fill := make([]int, userCSR.NumCols)
+	for r := 0; r < userCSR.NumRows; r++ {
+		lo, hi := userCSR.RowPtr[r], userCSR.RowPtr[r+1]
+		for p := lo; p < hi; p++ {
+			c := userCSR.ColIdx[p]
+			m[ptr[c]+fill[c]] = p
+			fill[c]++
+		}
+	}
+	return m
+}
+
+// addRankOne applies res[p] += sign·u[row]·v[col] over observed entries,
+// iterating in user-major order.
+func addRankOne(userCSR *CSR, res []float64, u, v []float64, sign float64) {
+	for r := 0; r < userCSR.NumRows; r++ {
+		lo, hi := userCSR.RowPtr[r], userCSR.RowPtr[r+1]
+		ur := u[r]
+		if ur == 0 {
+			continue
+		}
+		for p := lo; p < hi; p++ {
+			res[p] += sign * ur * v[userCSR.ColIdx[p]]
+		}
+	}
+}
+
+// solveColumn refits dst (one latent column over csr's rows) in closed
+// form against the fixed column other. res is indexed in USER-major
+// positions; posMap maps csr's positions to user-major positions (nil
+// when csr is already user-major).
+func solveColumn(csr *CSR, res []float64, posMap []int, dst, other []float64, lambda float64) {
+	for r := 0; r < csr.NumRows; r++ {
+		lo, hi := csr.RowPtr[r], csr.RowPtr[r+1]
+		if lo == hi {
+			dst[r] = 0
+			continue
+		}
+		var num, den float64
+		for p := lo; p < hi; p++ {
+			rp := p
+			if posMap != nil {
+				rp = posMap[p]
+			}
+			o := other[csr.ColIdx[p]]
+			num += res[rp] * o
+			den += o * o
+		}
+		den += lambda * float64(hi-lo)
+		if den == 0 {
+			dst[r] = 0
+			continue
+		}
+		dst[r] = num / den
+	}
+}

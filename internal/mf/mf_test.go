@@ -1,0 +1,181 @@
+package mf
+
+import (
+	"math"
+	"testing"
+
+	"fexipro/internal/data"
+)
+
+func plantedSet(t *testing.T, seed int64) ([]data.Rating, []data.Rating, data.RatingConfig) {
+	t.Helper()
+	cfg := data.RatingConfig{Users: 120, Items: 80, Dim: 5, PerUser: 30, Noise: 0.2, Scale: 5, Seed: seed}
+	ratings, _, _ := data.PlantedRatings(cfg)
+	train, test := data.SplitRatings(ratings, 0.2, seed+1)
+	return train, test, cfg
+}
+
+func TestNewCSR(t *testing.T) {
+	ratings := []data.Rating{
+		{User: 1, Item: 0, Value: 3},
+		{User: 0, Item: 2, Value: 5},
+		{User: 1, Item: 2, Value: 1},
+	}
+	m, err := NewCSR(ratings, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 1 || cols[0] != 2 || vals[0] != 5 {
+		t.Fatalf("row 0: %v %v", cols, vals)
+	}
+	cols, vals = m.Row(1)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 {
+		t.Fatalf("row 1: %v %v", cols, vals)
+	}
+}
+
+func TestNewCSRDedupKeepsLast(t *testing.T) {
+	ratings := []data.Rating{
+		{User: 0, Item: 0, Value: 1},
+		{User: 0, Item: 0, Value: 4},
+	}
+	m, err := NewCSR(ratings, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || m.Val[0] != 4 {
+		t.Fatalf("dedup: nnz=%d val=%v", m.NNZ(), m.Val)
+	}
+}
+
+func TestNewCSRRejectsOutOfRange(t *testing.T) {
+	if _, err := NewCSR([]data.Rating{{User: 5, Item: 0}}, 2, 2); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	ratings := []data.Rating{
+		{User: 0, Item: 1, Value: 2},
+		{User: 1, Item: 0, Value: 3},
+		{User: 1, Item: 1, Value: 4},
+	}
+	m, err := NewCSR(ratings, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Transpose()
+	if tr.NumRows != 2 || tr.NNZ() != 3 {
+		t.Fatalf("transpose shape: %d rows, %d nnz", tr.NumRows, tr.NNZ())
+	}
+	cols, vals := tr.Row(1)
+	if len(cols) != 2 || vals[0] != 2 || vals[1] != 4 {
+		t.Fatalf("transpose row 1: %v %v", cols, vals)
+	}
+}
+
+func TestTransposePositionMap(t *testing.T) {
+	ratings := []data.Rating{
+		{User: 0, Item: 1, Value: 2},
+		{User: 1, Item: 0, Value: 3},
+		{User: 1, Item: 1, Value: 4},
+	}
+	m, _ := NewCSR(ratings, 2, 2)
+	tr := m.Transpose()
+	posMap := transposePositionMap(m)
+	for p := 0; p < tr.NNZ(); p++ {
+		if m.Val[posMap[p]] != tr.Val[p] {
+			t.Fatalf("position map broken at %d", p)
+		}
+	}
+}
+
+func TestTrainCCDRecoversPlantedModel(t *testing.T) {
+	train, test, _ := plantedSet(t, 10)
+	cfg := DefaultCCDConfig(5)
+	model, err := TrainCCD(train, 120, 80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRMSE := model.RMSE(train)
+	testRMSE := model.RMSE(test)
+	if trainRMSE > 0.5 {
+		t.Fatalf("train RMSE %.3f too high", trainRMSE)
+	}
+	if testRMSE > 0.8 {
+		t.Fatalf("test RMSE %.3f too high — model failed to generalize", testRMSE)
+	}
+}
+
+func TestTrainSGDRecoversPlantedModel(t *testing.T) {
+	train, test, _ := plantedSet(t, 20)
+	model, err := TrainSGD(train, 120, 80, DefaultSGDConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := model.RMSE(test); rmse > 0.9 {
+		t.Fatalf("SGD test RMSE %.3f too high", rmse)
+	}
+}
+
+func TestCCDBeatsMeanBaseline(t *testing.T) {
+	train, test, _ := plantedSet(t, 30)
+	model, err := TrainCCD(train, 120, 80, DefaultCCDConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, r := range train {
+		mean += r.Value
+	}
+	mean /= float64(len(train))
+	var se float64
+	for _, r := range test {
+		se += (r.Value - mean) * (r.Value - mean)
+	}
+	baseline := math.Sqrt(se / float64(len(test)))
+	if model.RMSE(test) >= baseline {
+		t.Fatalf("CCD RMSE %.3f no better than mean baseline %.3f", model.RMSE(test), baseline)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainCCD(nil, 5, 5, DefaultCCDConfig(3)); err == nil {
+		t.Fatal("expected error on empty ratings")
+	}
+	if _, err := TrainCCD([]data.Rating{{User: 0, Item: 0, Value: 3}}, 1, 1, CCDConfig{Dim: 0}); err == nil {
+		t.Fatal("expected error on zero dim")
+	}
+	if _, err := TrainSGD(nil, 5, 5, DefaultSGDConfig(3)); err == nil {
+		t.Fatal("expected error on empty ratings")
+	}
+	if _, err := TrainSGD([]data.Rating{{User: 9, Item: 0, Value: 3}}, 2, 2, DefaultSGDConfig(2)); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestPredictUsesGlobalBias(t *testing.T) {
+	train, _, _ := plantedSet(t, 40)
+	model, err := TrainCCD(train, 120, 80, DefaultCCDConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.GlobalBias == 0 {
+		t.Fatal("expected nonzero global bias with CenterRatings")
+	}
+	p := model.Predict(0, 0)
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("prediction %v", p)
+	}
+}
+
+func TestModelRMSEEmpty(t *testing.T) {
+	m := &Model{}
+	if got := m.RMSE(nil); got != 0 {
+		t.Fatalf("RMSE(nil) = %v", got)
+	}
+}

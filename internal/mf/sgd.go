@@ -1,0 +1,91 @@
+package mf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fexipro/internal/data"
+	"fexipro/internal/vec"
+)
+
+// SGDConfig configures the stochastic-gradient trainer, the lightweight
+// alternative to CCD++ used where training time matters more than final
+// RMSE (examples, property tests).
+type SGDConfig struct {
+	Dim       int
+	Lambda    float64 // L2 regularization
+	LearnRate float64
+	Epochs    int
+	// Decay multiplies the learning rate after each epoch.
+	Decay         float64
+	Seed          int64
+	CenterRatings bool
+}
+
+// DefaultSGDConfig returns sane defaults for rank dim.
+func DefaultSGDConfig(dim int) SGDConfig {
+	return SGDConfig{Dim: dim, Lambda: 0.05, LearnRate: 0.02, Epochs: 30, Decay: 0.95, Seed: 1, CenterRatings: true}
+}
+
+// TrainSGD factorizes ratings with plain regularized matrix-factorization
+// SGD: for each observed (u,i,r), with error e = r − qᵀp,
+//
+//	q ← q + η(e·p − λq),   p ← p + η(e·q − λp).
+func TrainSGD(ratings []data.Rating, numUsers, numItems int, cfg SGDConfig) (*Model, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("mf: SGD dim must be positive, got %d", cfg.Dim)
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("mf: no ratings to factorize")
+	}
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= numUsers || r.Item < 0 || r.Item >= numItems {
+			return nil, fmt.Errorf("mf: rating (%d,%d) out of range %d×%d", r.User, r.Item, numUsers, numItems)
+		}
+	}
+
+	var bias float64
+	if cfg.CenterRatings {
+		for _, r := range ratings {
+			bias += r.Value
+		}
+		bias /= float64(len(ratings))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model := &Model{
+		Users:      vec.NewMatrix(numUsers, cfg.Dim),
+		Items:      vec.NewMatrix(numItems, cfg.Dim),
+		GlobalBias: bias,
+	}
+	scale := 0.1
+	for i := range model.Users.Data {
+		model.Users.Data[i] = scale * rng.NormFloat64()
+	}
+	for i := range model.Items.Data {
+		model.Items.Data[i] = scale * rng.NormFloat64()
+	}
+
+	order := rng.Perm(len(ratings))
+	lr := cfg.LearnRate
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Reshuffle with Fisher–Yates to decorrelate epochs.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, idx := range order {
+			r := ratings[idx]
+			q := model.Users.Row(r.User)
+			p := model.Items.Row(r.Item)
+			e := r.Value - bias - vec.Dot(q, p)
+			for s := 0; s < cfg.Dim; s++ {
+				qs, ps := q[s], p[s]
+				q[s] += lr * (e*ps - cfg.Lambda*qs)
+				p[s] += lr * (e*qs - cfg.Lambda*ps)
+			}
+		}
+		lr *= cfg.Decay
+	}
+	return model, nil
+}

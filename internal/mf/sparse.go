@@ -1,0 +1,111 @@
+// Package mf implements the learning-phase substrate: low-rank matrix
+// factorization of a sparse rating matrix R into user factors Q and item
+// factors P such that qᵀp approximates the rating (Section 1, Figure 1 of
+// the paper). The paper uses LIBPMF's CCD++ coordinate descent; this
+// package provides a faithful CCD++ implementation plus a simpler SGD
+// trainer, both stdlib-only.
+package mf
+
+import (
+	"fmt"
+	"sort"
+
+	"fexipro/internal/data"
+)
+
+// CSR is a compressed sparse row matrix of observed ratings. Rows are
+// users for the user-major view and items for the item-major view; CCD++
+// needs both.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int     // len NumRows+1
+	ColIdx           []int     // len nnz
+	Val              []float64 // len nnz
+}
+
+// NNZ returns the number of stored ratings.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Row returns the column indices and values of row i (aliases storage).
+func (m *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// NewCSR builds a user-major CSR from rating triples. Duplicate
+// (user,item) pairs keep the last value. It returns an error if any index
+// is out of range.
+func NewCSR(ratings []data.Rating, numUsers, numItems int) (*CSR, error) {
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= numUsers || r.Item < 0 || r.Item >= numItems {
+			return nil, fmt.Errorf("mf: rating (%d,%d) out of range %d×%d", r.User, r.Item, numUsers, numItems)
+		}
+	}
+	sorted := make([]data.Rating, len(ratings))
+	copy(sorted, ratings)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].User != sorted[j].User {
+			return sorted[i].User < sorted[j].User
+		}
+		return sorted[i].Item < sorted[j].Item
+	})
+	// Drop duplicates, keeping the later triple from the input order.
+	dedup := sorted[:0]
+	for _, r := range sorted {
+		if len(dedup) > 0 && dedup[len(dedup)-1].User == r.User && dedup[len(dedup)-1].Item == r.Item {
+			dedup[len(dedup)-1] = r
+			continue
+		}
+		dedup = append(dedup, r)
+	}
+
+	m := &CSR{
+		NumRows: numUsers,
+		NumCols: numItems,
+		RowPtr:  make([]int, numUsers+1),
+		ColIdx:  make([]int, len(dedup)),
+		Val:     make([]float64, len(dedup)),
+	}
+	for _, r := range dedup {
+		m.RowPtr[r.User+1]++
+	}
+	for i := 0; i < numUsers; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	fill := make([]int, numUsers)
+	for _, r := range dedup {
+		pos := m.RowPtr[r.User] + fill[r.User]
+		m.ColIdx[pos] = r.Item
+		m.Val[pos] = r.Value
+		fill[r.User]++
+	}
+	return m, nil
+}
+
+// Transpose returns the item-major view of the same ratings.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int, m.NNZ()),
+		Val:     make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.NumRows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	fill := make([]int, t.NumRows)
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			pos := t.RowPtr[c] + fill[c]
+			t.ColIdx[pos] = r
+			t.Val[pos] = vals[k]
+			fill[c]++
+		}
+	}
+	return t
+}

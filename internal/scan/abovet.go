@@ -1,0 +1,30 @@
+package scan
+
+import (
+	"sort"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// SearchAbove returns every item with qᵀp ≥ t by exhaustive scan — the
+// ground truth for the above-t retrieval mode.
+func (n *Naive) SearchAbove(q []float64, t float64) []topk.Result {
+	n.stats = search.Stats{}
+	var out []topk.Result
+	for i := 0; i < n.items.Rows; i++ {
+		if v := vec.Dot(q, n.items.Row(i)); v >= t {
+			out = append(out, topk.Result{ID: i, Score: v})
+		}
+	}
+	n.stats.Scanned = n.items.Rows
+	n.stats.FullProducts = n.items.Rows
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

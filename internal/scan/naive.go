@@ -1,0 +1,42 @@
+// Package scan implements the sequential-scan retrieval baselines of
+// Section 2.2: the Naive full scan, the Cauchy–Schwarz sorted scan SS
+// with incremental pruning (Algorithms 1 and 2), and SS-L, the LEMP-style
+// single-query variant operating on normalized vectors.
+package scan
+
+import (
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Naive scans every item and computes every inner product, tracking the
+// top-k with a bounded heap — the paper's Naive baseline and the ground
+// truth for all exactness tests.
+type Naive struct {
+	items *vec.Matrix
+	stats search.Stats
+}
+
+// NewNaive indexes the item matrix (rows are item vectors). The matrix is
+// used as-is and must not be mutated afterwards.
+func NewNaive(items *vec.Matrix) *Naive {
+	return &Naive{items: items}
+}
+
+// Search implements search.Searcher.
+func (n *Naive) Search(q []float64, k int) []topk.Result {
+	n.stats = search.Stats{}
+	c := topk.New(k)
+	for i := 0; i < n.items.Rows; i++ {
+		c.Push(i, vec.Dot(q, n.items.Row(i)))
+	}
+	n.stats.Scanned = n.items.Rows
+	n.stats.FullProducts = n.items.Rows
+	return c.Results()
+}
+
+// Stats implements search.Searcher.
+func (n *Naive) Stats() search.Stats { return n.stats }
+
+var _ search.Searcher = (*Naive)(nil)

@@ -1,0 +1,110 @@
+package scan
+
+import (
+	"fmt"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// SS is the basic optimized sequential scan of Algorithm 1: items sorted
+// by decreasing length, Cauchy–Schwarz early termination, and incremental
+// pruning (Algorithm 2) at a fixed checking dimension w.
+type SS struct {
+	items     *vec.Matrix // rows sorted by decreasing norm
+	perm      []int       // perm[row] = original item ID
+	norms     []float64   // ‖p‖ per sorted row
+	tailNorms []float64   // ‖p^h‖ (coordinates w..d) per sorted row
+	w         int
+	stats     search.Stats
+}
+
+// NewSS indexes items (rows are item vectors; the matrix is copied so the
+// caller's data is never reordered). w is the checking dimension for
+// incremental pruning; w ≤ 0 selects the default d/5 (clamped to [1,d-1]),
+// and w ≥ d disables incremental pruning.
+func NewSS(items *vec.Matrix, w int) *SS {
+	m := items.Clone()
+	perm := m.SortRowsByNormDesc()
+	d := m.Cols
+	if w <= 0 {
+		w = clampW(d/5, d)
+	}
+	if w > d {
+		w = d
+	}
+	s := &SS{items: m, perm: perm, w: w, norms: m.RowNorms()}
+	s.tailNorms = make([]float64, m.Rows)
+	for i := range s.tailNorms {
+		s.tailNorms[i] = vec.NormRange(m.Row(i), w, d)
+	}
+	return s
+}
+
+func clampW(w, d int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w >= d {
+		w = d - 1
+	}
+	if w < 1 { // d == 1: no room for a residual; disable pruning
+		w = d
+	}
+	return w
+}
+
+// W returns the checking dimension in use.
+func (s *SS) W() int { return s.w }
+
+// Search implements search.Searcher.
+func (s *SS) Search(q []float64, k int) []topk.Result {
+	if len(q) != s.items.Cols {
+		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), s.items.Cols))
+	}
+	s.stats = search.Stats{}
+	c := topk.New(k)
+	qNorm := vec.Norm(q)
+	qTail := vec.NormRange(q, s.w, len(q))
+
+	for i := 0; i < s.items.Rows; i++ {
+		t := c.Threshold()
+		if qNorm*s.norms[i] <= t {
+			// Everything after i has a smaller length: terminate.
+			s.stats.PrunedByLength += s.items.Rows - i
+			break
+		}
+		s.stats.Scanned++
+		row := s.items.Row(i)
+		v := s.coordinateScan(q, row, qTail, s.tailNorms[i], t)
+		if v > t {
+			c.Push(s.perm[i], v)
+		}
+	}
+	return c.Results()
+}
+
+// coordinateScan is Algorithm 2: accumulate the first w products, attempt
+// the Eq. 1 bound, then finish the product only if the bound fails.
+func (s *SS) coordinateScan(q, p []float64, qTail, pTail, t float64) float64 {
+	d := len(q)
+	if s.w >= d {
+		s.stats.FullProducts++
+		return vec.Dot(q, p)
+	}
+	v := vec.DotRange(q, p, 0, s.w)
+	if v+qTail*pTail <= t {
+		s.stats.PrunedByIncremental++
+		return negInf
+	}
+	s.stats.FullProducts++
+	return v + vec.DotRange(q, p, s.w, d)
+}
+
+// Stats implements search.Searcher.
+func (s *SS) Stats() search.Stats { return s.stats }
+
+var _ search.Searcher = (*SS)(nil)
+
+const negInf = -1.7976931348623157e308 // ≈ -math.MaxFloat64; sentinel for "pruned"

@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// SSL is SS-L: the sequential scan with the LEMP optimizations that are
+// effective for single-query top-k retrieval (Section 7.1). Inner
+// products are computed over NORMALIZED vectors against the cosine
+// threshold t/(‖q‖·‖p‖), with a coordinate-based check (LEMP-C style, on
+// the query's dominant coordinate) before the incremental-pruning check
+// (LEMP-I, Eq. 1 on unit vectors). The checking dimension w is tuned on
+// sample queries, as LEMP does in its preprocessing phase.
+type SSL struct {
+	unit      *vec.Matrix // normalized item vectors, sorted by original norm desc
+	perm      []int
+	norms     []float64 // original ‖p‖ per sorted row
+	tailNorms []float64 // ‖p'^h‖ on the unit vectors, coordinates w..d
+	w         int
+	stats     search.Stats
+}
+
+// SSLOptions configures SS-L construction.
+type SSLOptions struct {
+	// W fixes the checking dimension; ≤ 0 means tune (or default).
+	W int
+	// SampleQueries, when non-nil, drives LEMP-style w tuning: each
+	// candidate w is evaluated on the samples and the cheapest wins.
+	SampleQueries *vec.Matrix
+	// SampleK is the k used while tuning (default 10).
+	SampleK int
+}
+
+// NewSSL indexes items (rows are item vectors; copied, caller data kept
+// intact).
+func NewSSL(items *vec.Matrix, opts SSLOptions) *SSL {
+	m := items.Clone()
+	perm := m.SortRowsByNormDesc()
+	d := m.Cols
+	norms := m.RowNorms()
+	unit := m
+	for i := 0; i < unit.Rows; i++ {
+		if norms[i] > 0 {
+			vec.Scale(unit.Row(i), 1/norms[i])
+		}
+	}
+	s := &SSL{unit: unit, perm: perm, norms: norms}
+
+	switch {
+	case opts.W > 0:
+		s.setW(min(opts.W, d))
+	case opts.SampleQueries != nil && d > 1:
+		s.tuneW(opts.SampleQueries, opts.SampleK)
+	default:
+		s.setW(clampW(d/5, d))
+	}
+	return s
+}
+
+func (s *SSL) setW(w int) {
+	d := s.unit.Cols
+	s.w = w
+	s.tailNorms = make([]float64, s.unit.Rows)
+	for i := range s.tailNorms {
+		s.tailNorms[i] = vec.NormRange(s.unit.Row(i), w, d)
+	}
+}
+
+// tuneW evaluates candidate checking dimensions on the sample queries and
+// keeps the one with the lowest modeled scan cost (dimensions touched).
+func (s *SSL) tuneW(samples *vec.Matrix, k int) {
+	if k <= 0 {
+		k = 10
+	}
+	d := s.unit.Cols
+	candidates := []int{}
+	for _, frac := range []int{10, 5, 3, 2} {
+		w := clampW(d/frac, d)
+		if len(candidates) == 0 || candidates[len(candidates)-1] != w {
+			candidates = append(candidates, w)
+		}
+	}
+	bestW, bestCost := candidates[0], math.Inf(1)
+	for _, w := range candidates {
+		s.setW(w)
+		var cost float64
+		for i := 0; i < samples.Rows; i++ {
+			s.Search(samples.Row(i), k)
+			st := s.stats
+			cost += float64(st.Scanned*w + st.FullProducts*(d-w))
+		}
+		if cost < bestCost {
+			bestCost, bestW = cost, w
+		}
+	}
+	s.setW(bestW)
+}
+
+// W returns the checking dimension in use.
+func (s *SSL) W() int { return s.w }
+
+// Search implements search.Searcher.
+func (s *SSL) Search(q []float64, k int) []topk.Result {
+	d := s.unit.Cols
+	if len(q) != d {
+		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), d))
+	}
+	s.stats = search.Stats{}
+	c := topk.New(k)
+	qNorm := vec.Norm(q)
+	if qNorm == 0 {
+		// Zero query: all inner products are zero; any k items tie.
+		for i := 0; i < min(k, s.unit.Rows); i++ {
+			c.Push(s.perm[i], 0)
+		}
+		return c.Results()
+	}
+	qUnit := vec.Scaled(q, 1/qNorm)
+	qTail := vec.NormRange(qUnit, s.w, d)
+
+	// Focus coordinate: the query's largest-magnitude unit coordinate.
+	focus := 0
+	for j := 1; j < d; j++ {
+		if math.Abs(qUnit[j]) > math.Abs(qUnit[focus]) {
+			focus = j
+		}
+	}
+	qf := qUnit[focus]
+	qRest := math.Sqrt(math.Max(0, 1-qf*qf))
+
+	for i := 0; i < s.unit.Rows; i++ {
+		t := c.Threshold()
+		lenBound := qNorm * s.norms[i]
+		if lenBound <= t {
+			s.stats.PrunedByLength += s.unit.Rows - i
+			break
+		}
+		s.stats.Scanned++
+		row := s.unit.Row(i)
+		// Cosine threshold: p survives only if cos(q,p) > t / (‖q‖‖p‖).
+		theta := math.Inf(-1)
+		if !math.IsInf(t, -1) {
+			theta = t / lenBound
+		}
+
+		// Coordinate-based check on the focus coordinate.
+		pf := row[focus]
+		if qf*pf+qRest*math.Sqrt(math.Max(0, 1-pf*pf)) <= theta {
+			s.stats.PrunedByIncremental++
+			continue
+		}
+
+		// Incremental pruning on the unit vectors.
+		var cos float64
+		if s.w < d {
+			cos = vec.DotRange(qUnit, row, 0, s.w)
+			if cos+qTail*s.tailNorms[i] <= theta {
+				s.stats.PrunedByIncremental++
+				continue
+			}
+			cos += vec.DotRange(qUnit, row, s.w, d)
+		} else {
+			cos = vec.Dot(qUnit, row)
+		}
+		s.stats.FullProducts++
+		v := cos * lenBound
+		if v > t {
+			c.Push(s.perm[i], v)
+		}
+	}
+	return c.Results()
+}
+
+// Stats implements search.Searcher.
+func (s *SSL) Stats() search.Stats { return s.stats }
+
+var _ search.Searcher = (*SSL)(nil)

@@ -1,0 +1,23 @@
+package search
+
+import "testing"
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Scanned: 1, PrunedByLength: 2, PrunedByIntHead: 3, PrunedByIntFull: 4,
+		PrunedByIncremental: 5, PrunedByMonotone: 6, FullProducts: 7, NodesVisited: 8}
+	b := a
+	a.Add(b)
+	want := Stats{Scanned: 2, PrunedByLength: 4, PrunedByIntHead: 6, PrunedByIntFull: 8,
+		PrunedByIncremental: 10, PrunedByMonotone: 12, FullProducts: 14, NodesVisited: 16}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestStatsAddZero(t *testing.T) {
+	a := Stats{Scanned: 5}
+	a.Add(Stats{})
+	if a.Scanned != 5 {
+		t.Fatalf("Add zero changed stats: %+v", a)
+	}
+}

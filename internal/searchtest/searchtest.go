@@ -1,0 +1,146 @@
+// Package searchtest provides the shared harness that validates every
+// retrieval method against the Naive ground truth: same top-k scores (to
+// float tolerance) and same identities wherever scores are separated.
+package searchtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fexipro/internal/scan"
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Tolerance is the relative score tolerance used when comparing a method
+// against Naive. The FEXIPRO transformations are lossless in real
+// arithmetic; float64 evaluation leaves ~1e-12 relative noise.
+const Tolerance = 1e-7
+
+// RandomInstance generates an n×d item matrix and a query with entries
+// from a mix of Gaussians (including negative values and norm skew, the
+// regime the paper targets).
+func RandomInstance(rng *rand.Rand, n, d int) (*vec.Matrix, []float64) {
+	items := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		scale := math.Exp(0.6 * rng.NormFloat64())
+		row := items.Row(i)
+		for j := range row {
+			row[j] = scale * rng.NormFloat64() * math.Exp(-0.05*float64(j))
+		}
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	return items, q
+}
+
+// CheckTopK fails the test unless got matches the exact top-k of q
+// against items. Scores must agree within Tolerance; IDs must agree
+// except inside groups of near-tied scores.
+func CheckTopK(t *testing.T, items *vec.Matrix, q []float64, k int, got []topk.Result, label string) {
+	t.Helper()
+	want := scan.NewNaive(items).Search(q, k)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !scoreClose(got[i].Score, want[i].Score) {
+			t.Fatalf("%s: rank %d score %v, want %v (got=%v want=%v)",
+				label, i, got[i].Score, want[i].Score, got, want)
+		}
+		// Verify the returned ID really achieves the claimed score.
+		actual := vec.Dot(q, items.Row(got[i].ID))
+		if !scoreClose(actual, want[i].Score) {
+			t.Fatalf("%s: rank %d returned item %d with true score %v, want %v",
+				label, i, got[i].ID, actual, want[i].Score)
+		}
+	}
+}
+
+func scoreClose(a, b float64) bool {
+	return math.Abs(a-b) <= Tolerance*(1+math.Abs(a)+math.Abs(b))
+}
+
+// CheckSearcher runs a grid of (n, d, k) instances through the searcher
+// factory and validates every answer against Naive.
+func CheckSearcher(t *testing.T, build func(items *vec.Matrix) search.Searcher, label string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12345))
+	cases := []struct{ n, d, k int }{
+		{1, 1, 1},
+		{1, 5, 3},
+		{10, 1, 2},
+		{50, 3, 5},
+		{100, 8, 1},
+		{100, 8, 10},
+		{300, 16, 7},
+		{500, 32, 10},
+		{200, 50, 5},
+		{64, 50, 64},  // k == n
+		{64, 50, 100}, // k > n
+	}
+	for _, c := range cases {
+		items, _ := RandomInstance(rng, c.n, c.d)
+		s := build(items)
+		for trial := 0; trial < 5; trial++ {
+			q := make([]float64, c.d)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			got := s.Search(q, c.k)
+			CheckTopK(t, items, q, c.k, got, label)
+		}
+	}
+}
+
+// CheckSearcherEdgeCases exercises degenerate inputs: zero queries, zero
+// items, duplicated vectors, negative-only data.
+func CheckSearcherEdgeCases(t *testing.T, build func(items *vec.Matrix) search.Searcher, label string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(999))
+
+	// Duplicated rows: scores must still be the duplicated maximum.
+	row := []float64{0.5, -1.5, 2.0}
+	items := vec.FromRows([][]float64{row, row, row, {0, 0, 0}, {-5, -5, -5}})
+	s := build(items)
+	q := []float64{1, 0.2, 0.1}
+	CheckTopK(t, items, q, 3, s.Search(q, 3), label+"/duplicates")
+
+	// Zero query vector.
+	items2, _ := RandomInstance(rng, 40, 6)
+	s2 := build(items2)
+	zq := make([]float64, 6)
+	got := s2.Search(zq, 4)
+	if len(got) != 4 {
+		t.Fatalf("%s: zero query returned %d results", label, len(got))
+	}
+	for _, r := range got {
+		if r.Score != 0 {
+			t.Fatalf("%s: zero query score %v != 0", label, r.Score)
+		}
+	}
+
+	// All-negative items.
+	neg := vec.NewMatrix(30, 4)
+	for i := range neg.Data {
+		neg.Data[i] = -rng.Float64() - 0.1
+	}
+	s3 := build(neg)
+	q3 := []float64{1, 2, 3, 4}
+	CheckTopK(t, neg, q3, 5, s3.Search(q3, 5), label+"/negative")
+
+	// Items containing a zero vector.
+	withZero := vec.NewMatrix(10, 3)
+	for i := 1; i < 10; i++ {
+		for j := 0; j < 3; j++ {
+			withZero.Set(i, j, rng.NormFloat64())
+		}
+	}
+	s4 := build(withZero)
+	q4 := []float64{0.3, -0.7, 1.1}
+	CheckTopK(t, withZero, q4, 10, s4.Search(q4, 10), label+"/zero-item")
+}

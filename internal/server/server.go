@@ -1,0 +1,247 @@
+// Package server exposes a FEXIPRO dynamic index over HTTP with a small
+// JSON API — the retrieval phase of Figure 1 as a deployable service:
+//
+//	POST   /v1/search          {"vector": [...], "k": 10}
+//	POST   /v1/above           {"vector": [...], "threshold": 3.5}
+//	POST   /v1/items           {"vector": [...]}            → {"id": n}
+//	DELETE /v1/items/{id}
+//	GET    /v1/info
+//	GET    /v1/healthz
+//
+// The handler serializes index access with a mutex: FEXIPRO retrievers
+// are single-goroutine and the dynamic index mutates on writes. For
+// read-heavy deployments, run several replicas of the process or shard
+// by item range; the index itself is deterministic and rebuildable from
+// the factor file.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fexipro/internal/core"
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
+)
+
+// Server is the HTTP handler set over one dynamic index.
+type Server struct {
+	mu  sync.Mutex
+	idx *core.DynamicIndex
+	dim int
+	// MaxK caps per-request k to bound response sizes (default 1000).
+	MaxK int
+}
+
+// New builds a server over an initial item matrix (rows are items; may
+// be empty with a positive dimension) using the given FEXIPRO options.
+func New(initial *vec.Matrix, opts core.Options) (*Server, error) {
+	idx, err := core.NewDynamicIndex(initial, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{idx: idx, dim: initial.Cols, MaxK: 1000}, nil
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/above", s.handleAbove)
+	mux.HandleFunc("POST /v1/items", s.handleAddItem)
+	mux.HandleFunc("DELETE /v1/items/", s.handleDeleteItem)
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type searchRequest struct {
+	Vector    []float64 `json:"vector"`
+	K         int       `json:"k"`
+	Threshold *float64  `json:"threshold"`
+}
+
+type resultJSON struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+type searchResponse struct {
+	Results    []resultJSON `json:"results"`
+	TookMicros int64        `json:"tookMicros"`
+	Stats      statsJSON    `json:"stats"`
+}
+
+type statsJSON struct {
+	Scanned      int `json:"scanned"`
+	Pruned       int `json:"pruned"`
+	FullProducts int `json:"fullProducts"`
+}
+
+func toStatsJSON(st search.Stats) statsJSON {
+	return statsJSON{
+		Scanned: st.Scanned,
+		Pruned: st.PrunedByLength + st.PrunedByIntHead + st.PrunedByIntFull +
+			st.PrunedByIncremental + st.PrunedByMonotone,
+		FullProducts: st.FullProducts,
+	}
+}
+
+func (s *Server) decodeVector(w http.ResponseWriter, r *http.Request, req *searchRequest) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return false
+	}
+	if len(req.Vector) != s.dim {
+		httpError(w, http.StatusBadRequest, "vector has %d dims, index has %d", len(req.Vector), s.dim)
+		return false
+	}
+	for i, v := range req.Vector {
+		if isNaNOrInf(v) {
+			httpError(w, http.StatusBadRequest, "vector[%d] is not finite", i)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !s.decodeVector(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be positive, got %d", req.K)
+		return
+	}
+	if req.K > s.MaxK {
+		httpError(w, http.StatusBadRequest, "k %d exceeds maximum %d", req.K, s.MaxK)
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	results := s.idx.Search(req.Vector, req.K)
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	writeJSON(w, searchResponse{
+		Results:    toResultsJSON(results),
+		TookMicros: time.Since(start).Microseconds(),
+		Stats:      toStatsJSON(st),
+	})
+}
+
+func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !s.decodeVector(w, r, &req) {
+		return
+	}
+	if req.Threshold == nil || isNaNOrInf(*req.Threshold) {
+		httpError(w, http.StatusBadRequest, "a finite threshold is required")
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	results := s.idx.SearchAbove(req.Vector, *req.Threshold)
+	st := s.idx.Stats()
+	s.mu.Unlock()
+	if len(results) > s.MaxK {
+		results = results[:s.MaxK] // keep responses bounded
+	}
+	writeJSON(w, searchResponse{
+		Results:    toResultsJSON(results),
+		TookMicros: time.Since(start).Microseconds(),
+		Stats:      toStatsJSON(st),
+	})
+}
+
+type addItemRequest struct {
+	Vector []float64 `json:"vector"`
+}
+
+func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
+	var req addItemRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Vector) != s.dim {
+		httpError(w, http.StatusBadRequest, "vector has %d dims, index has %d", len(req.Vector), s.dim)
+		return
+	}
+	for i, v := range req.Vector {
+		if isNaNOrInf(v) {
+			httpError(w, http.StatusBadRequest, "vector[%d] is not finite", i)
+			return
+		}
+	}
+	s.mu.Lock()
+	id, err := s.idx.Add(req.Vector)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "add failed: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]int{"id": id})
+}
+
+func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/items/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad item id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	err = s.idx.Delete(id)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := s.idx.Len()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"items": n, "dim": s.dim})
+}
+
+func toResultsJSON(rs []topk.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{ID: r.ID, Score: r.Score}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing recoverable remains.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) //nolint:errcheck
+}
+
+func isNaNOrInf(v float64) bool {
+	return v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308
+}

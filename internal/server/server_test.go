@@ -1,0 +1,241 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/scan"
+	"fexipro/internal/server"
+	"fexipro/internal/vec"
+)
+
+func newTestServer(t *testing.T, n, d int) (*httptest.Server, *vec.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	items := vec.NewMatrix(n, d)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	srv, err := server.New(items, core.Options{SVD: true, Int: true, Reduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, items
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+type searchResp struct {
+	Results []struct {
+		ID    int     `json:"id"`
+		Score float64 `json:"score"`
+	} `json:"results"`
+	TookMicros int64 `json:"tookMicros"`
+	Stats      struct {
+		Scanned      int `json:"scanned"`
+		Pruned       int `json:"pruned"`
+		FullProducts int `json:"fullProducts"`
+	} `json:"stats"`
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts, items := newTestServer(t, 300, 8)
+	q := []float64{1, -0.5, 0.3, 0.7, -0.2, 0.1, 0.9, -1.1}
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[searchResp](t, resp)
+	if len(got.Results) != 5 {
+		t.Fatalf("got %d results", len(got.Results))
+	}
+	want := scan.NewNaive(items).Search(q, 5)
+	for i := range want {
+		if got.Results[i].ID != want[i].ID {
+			t.Fatalf("rank %d: %v vs %v", i, got.Results[i], want[i])
+		}
+	}
+	if got.Stats.Scanned == 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 50, 4)
+	cases := []struct {
+		body any
+		want int
+	}{
+		{map[string]any{"vector": []float64{1, 2}, "k": 3}, http.StatusBadRequest},       // wrong dim
+		{map[string]any{"vector": []float64{1, 2, 3, 4}, "k": 0}, http.StatusBadRequest}, // bad k
+		{map[string]any{"vector": []float64{1, 2, 3, 4}, "k": 100000}, http.StatusBadRequest},
+		{"not json at all", http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/search", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, c.want)
+		}
+	}
+	// NaN vector via raw JSON is impossible (JSON has no NaN), but huge
+	// values are finite and allowed — just verify it answers.
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1e300, 0, 0, 0}, "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("huge values: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestAboveEndpoint(t *testing.T) {
+	ts, items := newTestServer(t, 300, 8)
+	q := make([]float64, 8)
+	q[0] = 2
+	top := scan.NewNaive(items).Search(q, 10)
+	thr := top[9].Score - 1e-9
+	resp := postJSON(t, ts.URL+"/v1/above", map[string]any{"vector": q, "threshold": thr})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decode[searchResp](t, resp)
+	if len(got.Results) != 10 {
+		t.Fatalf("got %d results, want 10", len(got.Results))
+	}
+	// Missing threshold rejected.
+	resp = postJSON(t, ts.URL+"/v1/above", map[string]any{"vector": q})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing threshold: status %d", resp.StatusCode)
+	}
+}
+
+func TestItemLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, 100, 4)
+
+	// Add a dominant item.
+	resp := postJSON(t, ts.URL+"/v1/items", map[string]any{"vector": []float64{50, 50, 50, 50}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	added := decode[map[string]int](t, resp)
+	id := added["id"]
+	if id != 100 {
+		t.Fatalf("new id %d, want 100", id)
+	}
+
+	q := []float64{1, 1, 1, 1}
+	search := decode[searchResp](t, postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 1}))
+	if search.Results[0].ID != id {
+		t.Fatalf("dominant item not top: %v", search.Results)
+	}
+
+	// Delete and confirm it is gone.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/items/%d", ts.URL, id), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	search = decode[searchResp](t, postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 1}))
+	if search.Results[0].ID == id {
+		t.Fatal("deleted item still returned")
+	}
+
+	// Double delete → 404.
+	dresp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d", dresp2.StatusCode)
+	}
+
+	// Bad id → 400.
+	breq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/items/notanumber", nil)
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", bresp.StatusCode)
+	}
+}
+
+func TestInfoAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t, 42, 4)
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decode[map[string]any](t, resp)
+	if info["items"].(float64) != 42 || info["dim"].(float64) != 4 {
+		t.Fatalf("info = %v", info)
+	}
+	hresp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hresp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 200, 6)
+	done := make(chan error, 10)
+	for g := 0; g < 10; g++ {
+		go func(g int) {
+			q := []float64{float64(g), 1, -1, 0.5, 0, 2}
+			for i := 0; i < 20; i++ {
+				resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 3})
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("status %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 10; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

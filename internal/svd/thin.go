@@ -1,0 +1,147 @@
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/vec"
+)
+
+// Thin holds a thin SVD P = U·Σ·V₁ᵀ of the paper's d×n item matrix P.
+// Items is the n×d matrix whose ROWS are the item vectors (i.e. Pᵀ), so
+// in terms of Items: Items = V₁·Σ·Uᵀ.
+type Thin struct {
+	// U is d×d with orthonormal columns (left singular vectors of P).
+	U *vec.Matrix
+	// Sigma holds the singular values σ₁ ≥ σ₂ ≥ … ≥ σ_d ≥ 0.
+	Sigma []float64
+	// V1 is n×d; row i is the SVD-transformed item vector p̄ᵢ
+	// (Theorem 1: P̄ = V₁ᵀ, so the columns of P̄ are the rows of V₁).
+	V1 *vec.Matrix
+}
+
+// Rank returns the number of singular values greater than tol·σ₁.
+func (t *Thin) Rank(tol float64) int {
+	if len(t.Sigma) == 0 || t.Sigma[0] == 0 {
+		return 0
+	}
+	r := 0
+	for _, s := range t.Sigma {
+		if s > tol*t.Sigma[0] {
+			r++
+		}
+	}
+	return r
+}
+
+// TransformQuery maps a query q from the original space into the SVD
+// space: q̄ = Σ_d·Uᵀ·q (Theorem 1). The result has the same inner
+// products with the rows of V1 as q has with the original item vectors.
+func (t *Thin) TransformQuery(q []float64) []float64 {
+	d := t.U.Rows
+	if len(q) != d {
+		panic(fmt.Sprintf("svd: TransformQuery dim mismatch: %d vs %d", len(q), d))
+	}
+	out := make([]float64, d)
+	// out[j] = σ_j * Σ_i U[i][j]·q[i]
+	for i := 0; i < d; i++ {
+		qi := q[i]
+		if qi == 0 {
+			continue
+		}
+		urow := t.U.Row(i)
+		for j := 0; j < d; j++ {
+			out[j] += urow[j] * qi
+		}
+	}
+	for j := 0; j < d; j++ {
+		out[j] *= t.Sigma[j]
+	}
+	return out
+}
+
+// Decompose computes the thin SVD of the item collection. items is the
+// n×d matrix whose rows are item vectors (Pᵀ in paper notation).
+//
+// Singular values smaller than rankTol·σ₁ are treated as zero and their
+// V₁ columns zeroed: those directions carry none of P, so inner products
+// are preserved exactly (Theorem 1) while avoiding division blow-ups on
+// rank-deficient inputs. Pass rankTol ≤ 0 for the default 1e-12.
+func Decompose(items *vec.Matrix, rankTol float64) (*Thin, error) {
+	if rankTol <= 0 {
+		rankTol = 1e-12
+	}
+	n, d := items.Rows, items.Cols
+	if d == 0 {
+		return nil, fmt.Errorf("svd: Decompose on zero-dimensional items")
+	}
+
+	// G = P·Pᵀ = Itemsᵀ·Items (d×d).
+	g := items.GramLower()
+	lambda, u, err := SymEigen(g)
+	if err != nil {
+		return nil, err
+	}
+
+	sigma := make([]float64, d)
+	for i, l := range lambda {
+		if l < 0 {
+			l = 0 // clip tiny negative rounding noise of PSD matrices
+		}
+		sigma[i] = math.Sqrt(l)
+	}
+
+	// V1 = Pᵀ·U·Σ⁻¹ = Items·U·Σ⁻¹ (n×d); zero columns for null σ.
+	v1 := vec.NewMatrix(n, d)
+	inv := make([]float64, d)
+	for j := 0; j < d; j++ {
+		if sigma[0] > 0 && sigma[j] > rankTol*sigma[0] {
+			inv[j] = 1 / sigma[j]
+		} else {
+			sigma[j] = 0
+			inv[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		src := items.Row(i)
+		dst := v1.Row(i)
+		for kk := 0; kk < d; kk++ {
+			v := src[kk]
+			if v == 0 {
+				continue
+			}
+			urow := u.Row(kk)
+			for j := 0; j < d; j++ {
+				dst[j] += v * urow[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			dst[j] *= inv[j]
+		}
+	}
+
+	return &Thin{U: u, Sigma: sigma, V1: v1}, nil
+}
+
+// Reconstruct rebuilds the n×d item matrix V₁·Σ·Uᵀ; used by tests to
+// validate the factorization.
+func (t *Thin) Reconstruct() *vec.Matrix {
+	n := t.V1.Rows
+	d := t.U.Rows
+	out := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		vrow := t.V1.Row(i)
+		dst := out.Row(i)
+		for j := 0; j < d; j++ {
+			sv := vrow[j] * t.Sigma[j]
+			if sv == 0 {
+				continue
+			}
+			// add sv * U[:,j]ᵀ, i.e. dst[k] += sv·U[k][j]
+			for k := 0; k < d; k++ {
+				dst[k] += sv * t.U.At(k, j)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/vec"
+)
+
+// AppendItem performs Brand's fast rank-one thin-SVD update (Brand 2006,
+// "Fast low-rank modifications of the thin singular value
+// decomposition" — the paper's citation [11]) for one new item vector:
+// given Items = V₁·Σ·Uᵀ it returns the thin SVD of Items with row x
+// appended, in O((n+d)·d²) time instead of a full O(n·d²)+O(d³)
+// recomputation — the win is that no pass over the original item data is
+// needed, only over the existing factors.
+//
+// In the paper's orientation this appends a column to P = U·Σ·V₁ᵀ:
+//
+//	m = Uᵀx, p = x − U·m, ρ = ‖p‖
+//	K = [[Σ, m], [0, ρ]]   (r+1)×(r+1)
+//	K = A·Ŝ·Bᵀ  ⇒  U ← [U | p/ρ]·A,  V ← [[V,0],[0,1]]·B
+//
+// with the trailing singular value truncated when the new item is inside
+// the current column space (ρ ≈ 0) or the rank already equals d.
+func (t *Thin) AppendItem(x []float64) (*Thin, error) {
+	d := t.U.Rows
+	if len(x) != d {
+		return nil, fmt.Errorf("svd: AppendItem dim %d != %d", len(x), d)
+	}
+	n := t.V1.Rows
+	r := d // stored thin rank (columns of U/V1)
+
+	// m = Uᵀx and residual p = x − U·m.
+	m := make([]float64, r)
+	for i := 0; i < d; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		urow := t.U.Row(i)
+		for j := 0; j < r; j++ {
+			m[j] += urow[j] * xi
+		}
+	}
+	p := append([]float64(nil), x...)
+	for i := 0; i < d; i++ {
+		urow := t.U.Row(i)
+		for j := 0; j < r; j++ {
+			p[i] -= urow[j] * m[j]
+		}
+	}
+	rho := vec.Norm(p)
+	// With r == d the residual is always ~0 (U spans ℝ^d); treat tiny
+	// residuals as zero to avoid amplifying rounding noise.
+	scaleRef := t.Sigma[0] + vec.Norm(x)
+	grow := rho > 1e-10*(1+scaleRef)
+	kdim := r
+	if grow {
+		kdim = r + 1
+		vec.Scale(p, 1/rho)
+	}
+
+	// K = [[Σ, m],[0, ρ]] (or r×r+... collapsed when not growing:
+	// K = [Σ | m] padded — we keep the square (r+1) form and truncate).
+	K := vec.NewMatrix(kdim, kdim)
+	for i := 0; i < r && i < kdim; i++ {
+		K.Set(i, i, t.Sigma[i])
+	}
+	if grow {
+		for i := 0; i < r; i++ {
+			K.Set(i, kdim-1, m[i])
+		}
+		K.Set(kdim-1, kdim-1, rho)
+	} else {
+		// Not growing: fold m into the last column of the square r×r
+		// system K = [[Σ]] + m·e_rᵀ is wrong; instead use the exact
+		// (r+1)-column form via the Gram trick below on [Σ | m].
+		return t.appendInSpan(x, m)
+	}
+
+	A, shat, B, err := smallSVD(K)
+	if err != nil {
+		return nil, err
+	}
+
+	// New U = [U | p]·A  (d×kdim), keep the strongest d columns.
+	keep := min(kdim, d)
+	newU := vec.NewMatrix(d, keep)
+	for i := 0; i < d; i++ {
+		urow := t.U.Row(i)
+		for j := 0; j < keep; j++ {
+			var s float64
+			for l := 0; l < r; l++ {
+				s += urow[l] * A.At(l, j)
+			}
+			if grow {
+				s += p[i] * A.At(kdim-1, j)
+			}
+			newU.Set(i, j, s)
+		}
+	}
+	// New V = [[V,0],[0,1]]·B  ((n+1)×kdim) — keep columns.
+	newV := vec.NewMatrix(n+1, keep)
+	for i := 0; i < n; i++ {
+		vrow := t.V1.Row(i)
+		for j := 0; j < keep; j++ {
+			var s float64
+			for l := 0; l < r; l++ {
+				s += vrow[l] * B.At(l, j)
+			}
+			newV.Set(i, j, s)
+		}
+	}
+	for j := 0; j < keep; j++ {
+		newV.Set(n, j, B.At(kdim-1, j))
+	}
+
+	out := &Thin{U: padSquare(newU, d), Sigma: padSigma(shat[:keep], d), V1: padCols(newV, d)}
+	return out, nil
+}
+
+// appendInSpan handles the common full-rank case (the new item lies in
+// the span of U): the update reduces to the SVD of the square system
+// K = [Σ·Vᵀ-ish]: concretely Items' = [V·Σ; mᵀ]·Uᵀ, so we re-factor the
+// tall-thin inner matrix via its d×d Gram.
+func (t *Thin) appendInSpan(x, m []float64) (*Thin, error) {
+	d := t.U.Rows
+	n := t.V1.Rows
+
+	// G = Σ² + m·mᵀ is the Gram of [V·Σ; mᵀ] because VᵀV = I.
+	G := vec.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			v := m[i] * m[j]
+			if i == j {
+				v += t.Sigma[i] * t.Sigma[i]
+			}
+			G.Set(i, j, v)
+		}
+	}
+	lambda, W, err := SymEigen(G)
+	if err != nil {
+		return nil, err
+	}
+	newSigma := make([]float64, d)
+	inv := make([]float64, d)
+	for j := 0; j < d; j++ {
+		if lambda[j] < 0 {
+			lambda[j] = 0
+		}
+		newSigma[j] = math.Sqrt(lambda[j])
+		if newSigma[j] > 0 {
+			inv[j] = 1 / newSigma[j]
+		}
+	}
+
+	// New V rows: old row i becomes (V[i]·Σ)·W·Σ'⁻¹; the appended row is
+	// mᵀ·W·Σ'⁻¹. New U = U·W.
+	newV := vec.NewMatrix(n+1, d)
+	for i := 0; i < n; i++ {
+		vrow := t.V1.Row(i)
+		dst := newV.Row(i)
+		for l := 0; l < d; l++ {
+			vs := vrow[l] * t.Sigma[l]
+			if vs == 0 {
+				continue
+			}
+			wrow := W.Row(l)
+			for j := 0; j < d; j++ {
+				dst[j] += vs * wrow[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			dst[j] *= inv[j]
+		}
+	}
+	last := newV.Row(n)
+	for l := 0; l < d; l++ {
+		if m[l] == 0 {
+			continue
+		}
+		wrow := W.Row(l)
+		for j := 0; j < d; j++ {
+			last[j] += m[l] * wrow[j]
+		}
+	}
+	for j := 0; j < d; j++ {
+		last[j] *= inv[j]
+	}
+
+	newU := t.U.Mul(W)
+	return &Thin{U: newU, Sigma: newSigma, V1: newV}, nil
+}
+
+// smallSVD factorizes a small square matrix K = A·diag(s)·Bᵀ via the
+// Jacobi eigensolver on KᵀK.
+func smallSVD(K *vec.Matrix) (A *vec.Matrix, s []float64, B *vec.Matrix, err error) {
+	n := K.Rows
+	G := vec.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for l := 0; l < n; l++ {
+				acc += K.At(l, i) * K.At(l, j)
+			}
+			G.Set(i, j, acc)
+		}
+	}
+	lambda, B, err := SymEigen(G)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s = make([]float64, n)
+	A = vec.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		if lambda[j] < 0 {
+			lambda[j] = 0
+		}
+		s[j] = math.Sqrt(lambda[j])
+		if s[j] == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			var acc float64
+			for l := 0; l < n; l++ {
+				acc += K.At(i, l) * B.At(l, j)
+			}
+			A.Set(i, j, acc/s[j])
+		}
+	}
+	return A, s, B, nil
+}
+
+func padSquare(m *vec.Matrix, d int) *vec.Matrix {
+	if m.Cols == d {
+		return m
+	}
+	out := vec.NewMatrix(d, d)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i)[:m.Cols], m.Row(i))
+	}
+	return out
+}
+
+func padSigma(s []float64, d int) []float64 {
+	if len(s) == d {
+		return s
+	}
+	out := make([]float64, d)
+	copy(out, s)
+	return out
+}
+
+func padCols(m *vec.Matrix, d int) *vec.Matrix {
+	if m.Cols == d {
+		return m
+	}
+	out := vec.NewMatrix(m.Rows, d)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i)[:m.Cols], m.Row(i))
+	}
+	return out
+}

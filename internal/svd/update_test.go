@@ -1,0 +1,160 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fexipro/internal/vec"
+)
+
+func appendRow(m *vec.Matrix, row []float64) *vec.Matrix {
+	out := vec.NewMatrix(m.Rows+1, m.Cols)
+	copy(out.Data, m.Data)
+	copy(out.Row(m.Rows), row)
+	return out
+}
+
+func TestAppendItemMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, shape := range []struct{ n, d int }{{10, 4}, {50, 8}, {200, 16}} {
+		items := randomMatrix(rng, shape.n, shape.d)
+		thin, err := Decompose(items, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			x := make([]float64, shape.d)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			items = appendRow(items, x)
+			thin, err = thin.AppendItem(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if thin.V1.Rows != items.Rows {
+				t.Fatalf("V1 has %d rows, want %d", thin.V1.Rows, items.Rows)
+			}
+			// The updated factorization must reconstruct the grown matrix.
+			if !thin.Reconstruct().Equal(items, 1e-6) {
+				t.Fatalf("shape %+v step %d: reconstruction mismatch", shape, step)
+			}
+			// And the singular values must match a fresh decomposition.
+			fresh, err := Decompose(items, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range fresh.Sigma {
+				if math.Abs(fresh.Sigma[j]-thin.Sigma[j]) > 1e-6*(1+fresh.Sigma[j]) {
+					t.Fatalf("shape %+v step %d: σ_%d = %v, want %v",
+						shape, step, j, thin.Sigma[j], fresh.Sigma[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAppendItemPreservesInnerProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n, d := 80, 10
+	items := randomMatrix(rng, n, d)
+	thin, err := Decompose(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	items = appendRow(items, x)
+	thin, err = thin.AppendItem(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, d)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	qbar := thin.TransformQuery(q)
+	for i := 0; i < items.Rows; i++ {
+		orig := vec.Dot(q, items.Row(i))
+		trans := vec.Dot(qbar, thin.V1.Row(i))
+		if math.Abs(orig-trans) > 1e-6*(1+math.Abs(orig)) {
+			t.Fatalf("item %d: qᵀp=%v, q̄ᵀp̄=%v", i, orig, trans)
+		}
+	}
+}
+
+func TestAppendItemRankGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	// Start from a rank-deficient matrix living in a 2D subspace of ℝ⁵.
+	n, d := 30, 5
+	base := randomMatrix(rng, 2, d)
+	items := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		for j := 0; j < d; j++ {
+			items.Set(i, j, a*base.At(0, j)+b*base.At(1, j))
+		}
+	}
+	thin, err := Decompose(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thin.Rank(1e-6) != 2 {
+		t.Fatalf("initial rank %d, want 2", thin.Rank(1e-6))
+	}
+	// Append a vector OUTSIDE the subspace: rank must grow to 3.
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	items = appendRow(items, x)
+	thin, err = thin.AppendItem(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !thin.Reconstruct().Equal(items, 1e-6) {
+		t.Fatal("reconstruction mismatch after rank growth")
+	}
+	if got := thin.Rank(1e-6); got != 3 {
+		t.Fatalf("rank after growth = %d, want 3 (σ=%v)", got, thin.Sigma)
+	}
+}
+
+func TestAppendItemDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	thin, err := Decompose(randomMatrix(rng, 10, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := thin.AppendItem([]float64{1, 2}); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+}
+
+func TestAppendManySequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	n, d := 40, 6
+	items := randomMatrix(rng, n, d)
+	thin, err := Decompose(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 sequential updates must not drift.
+	for step := 0; step < 30; step++ {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		items = appendRow(items, x)
+		thin, err = thin.AppendItem(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !thin.Reconstruct().Equal(items, 1e-5) {
+		t.Fatal("drift after 30 sequential updates")
+	}
+}

@@ -1,0 +1,123 @@
+// Package topk implements the bounded top-k collector used by every
+// retrieval method in this repository (Algorithm 1's priority queue r and
+// threshold t).
+//
+// The collector is a fixed-capacity binary min-heap over scores: the root
+// always holds the k-th largest score seen so far, which is exactly the
+// pruning threshold t that the scan algorithms compare bounds against.
+package topk
+
+import (
+	"math"
+	"sort"
+)
+
+// Result is one retrieved item: its identifier in the original item
+// ordering and its (exact) inner-product score.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// Collector accumulates the k largest-scoring items seen so far.
+// The zero value is not usable; call New.
+type Collector struct {
+	k     int
+	items []Result // min-heap on Score
+}
+
+// New returns a collector retaining the k best results. k must be ≥ 0;
+// a collector with k == 0 retains nothing and has threshold +Inf so
+// every candidate is pruned immediately.
+func New(k int) *Collector {
+	if k < 0 {
+		panic("topk: negative k")
+	}
+	return &Collector{k: k, items: make([]Result, 0, k)}
+}
+
+// K returns the collector's capacity.
+func (c *Collector) K() int { return c.k }
+
+// Len returns the number of results currently held.
+func (c *Collector) Len() int { return len(c.items) }
+
+// Threshold returns the current pruning threshold t: the smallest score
+// in the heap once it is full, -Inf while it is not (so nothing is pruned
+// until k candidates have been scored), and +Inf for k == 0.
+func (c *Collector) Threshold() float64 {
+	if c.k == 0 {
+		return math.Inf(1)
+	}
+	if len(c.items) < c.k {
+		return math.Inf(-1)
+	}
+	return c.items[0].Score
+}
+
+// Push offers a candidate. It returns true if the candidate entered the
+// top-k (displacing the current minimum if the heap was full).
+func (c *Collector) Push(id int, score float64) bool {
+	if c.k == 0 {
+		return false
+	}
+	if len(c.items) < c.k {
+		c.items = append(c.items, Result{ID: id, Score: score})
+		c.siftUp(len(c.items) - 1)
+		return true
+	}
+	if score <= c.items[0].Score {
+		return false
+	}
+	c.items[0] = Result{ID: id, Score: score}
+	c.siftDown(0)
+	return true
+}
+
+// Results returns the collected items sorted by descending score
+// (ties broken by ascending ID for determinism). The collector is not
+// modified and remains usable.
+func (c *Collector) Results() []Result {
+	out := make([]Result, len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Reset empties the collector, keeping its capacity.
+func (c *Collector) Reset() { c.items = c.items[:0] }
+
+func (c *Collector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.items[parent].Score <= c.items[i].Score {
+			return
+		}
+		c.items[parent], c.items[i] = c.items[i], c.items[parent]
+		i = parent
+	}
+}
+
+func (c *Collector) siftDown(i int) {
+	n := len(c.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.items[l].Score < c.items[smallest].Score {
+			smallest = l
+		}
+		if r < n && c.items[r].Score < c.items[smallest].Score {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.items[i], c.items[smallest] = c.items[smallest], c.items[i]
+		i = smallest
+	}
+}

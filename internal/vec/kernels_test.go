@@ -1,0 +1,131 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dotReference is the plain sequential loop the unrolled kernels must
+// agree with (up to reassociation rounding).
+func dotReference(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestDotMatchesReferenceAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for n := 0; n <= 67; n++ {
+		a, b := randomSlice(rng, n), randomSlice(rng, n)
+		got := Dot(a, b)
+		want := dotReference(a, b)
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: Dot=%v ref=%v", n, got, want)
+		}
+	}
+}
+
+func TestDotRangeMatchesReferenceAllSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	a, b := randomSlice(rng, 41), randomSlice(rng, 41)
+	for lo := 0; lo <= 41; lo++ {
+		for hi := lo; hi <= 41; hi++ {
+			got := DotRange(a, b, lo, hi)
+			want := dotReference(a[lo:hi], b[lo:hi])
+			if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("[%d,%d): %v vs %v", lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestDotInt64AllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for n := 0; n <= 19; n++ {
+		a := make([]int32, n)
+		b := make([]int32, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			a[i] = int32(rng.Intn(2001) - 1000)
+			b[i] = int32(rng.Intn(2001) - 1000)
+			want += int64(a[i]) * int64(b[i])
+		}
+		if got := DotInt64(a, b); got != want {
+			t.Fatalf("n=%d: %d vs %d", n, got, want)
+		}
+	}
+}
+
+func TestDotInt16AllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for n := 0; n <= 19; n++ {
+		a := make([]int16, n)
+		b := make([]int16, n)
+		var want int64
+		for i := 0; i < n; i++ {
+			a[i] = int16(rng.Intn(201) - 100)
+			b[i] = int16(rng.Intn(201) - 100)
+			want += int64(a[i]) * int64(b[i])
+		}
+		if got := DotInt16(a, b); got != want {
+			t.Fatalf("n=%d: %d vs %d", n, got, want)
+		}
+	}
+	// Extremes cannot overflow.
+	a := []int16{math.MaxInt16, math.MinInt16}
+	want := int64(math.MaxInt16)*int64(math.MaxInt16) + int64(math.MinInt16)*int64(math.MinInt16)
+	if got := DotInt16(a, a); got != want {
+		t.Fatalf("extremes: %d vs %d", got, want)
+	}
+}
+
+func TestDotInt16PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DotInt16([]int16{1}, []int16{1, 2})
+}
+
+func BenchmarkDot50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randomSlice(rng, 50), randomSlice(rng, 50)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDotInt64_50(b *testing.B) {
+	x := make([]int32, 50)
+	y := make([]int32, 50)
+	for i := range x {
+		x[i], y[i] = int32(i*7%199-100), int32(i*13%199-100)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += DotInt64(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDotInt16_50(b *testing.B) {
+	x := make([]int16, 50)
+	y := make([]int16, 50)
+	for i := range x {
+		x[i], y[i] = int16(i*7%199-100), int16(i*13%199-100)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += DotInt16(x, y)
+	}
+	_ = sink
+}

@@ -1,0 +1,185 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a dense row-major matrix. In this repository rows are vectors:
+// the paper's item matrix P (d×n, items as columns) is stored here as an
+// n×d Matrix whose i-th row is the factor vector of item i. Row-major
+// storage makes the sequential scan at the heart of FEXIPRO walk memory
+// in order.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewMatrix with negative dims %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// data. It panics if the rows have inconsistent lengths.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("vec: FromRows row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns a newly allocated transpose.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// MulVec returns m · x (treating rows as the output dimension).
+// It panics if len(x) != m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: MulVec dim mismatch: %d cols vs %d", m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Mul returns m · other. It panics if m.Cols != other.Rows.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("vec: Mul dim mismatch: %d×%d by %d×%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < m.Cols; kk++ {
+			v := mrow[kk]
+			if v == 0 {
+				continue
+			}
+			krow := other.Row(kk)
+			for j := range orow {
+				orow[j] += v * krow[j]
+			}
+		}
+	}
+	return out
+}
+
+// GramLower returns the Cols×Cols Gram matrix mᵀ·m (the matrix of column
+// inner products). Used by the thin SVD: if the rows of m are the item
+// vectors (m is Pᵀ in paper terms), mᵀ·m is P·Pᵀ, the small d×d Gram.
+func (m *Matrix) GramLower() *Matrix {
+	d := m.Cols
+	g := NewMatrix(d, d)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < d; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			grow := g.Row(a)
+			for b := a; b < d; b++ {
+				grow[b] += va * row[b]
+			}
+		}
+	}
+	// mirror the upper triangle into the lower one
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			g.Set(b, a, g.At(a, b))
+		}
+	}
+	return g
+}
+
+// RowNorms returns the Euclidean norm of every row.
+func (m *Matrix) RowNorms() []float64 {
+	out := make([]float64, m.Rows)
+	for i := range out {
+		out[i] = Norm(m.Row(i))
+	}
+	return out
+}
+
+// AbsMax returns the maximum absolute entry of the matrix (0 if empty).
+func (m *Matrix) AbsMax() float64 { return AbsMax(m.Data) }
+
+// MinValue returns the minimum entry of the matrix.
+// It panics on an empty matrix.
+func (m *Matrix) MinValue() float64 { return Min(m.Data) }
+
+// Equal reports whether m and other have identical shape and entries
+// within absolute tolerance tol.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SortRowsByNormDesc reorders rows in place by decreasing Euclidean norm
+// and returns perm where perm[newIndex] = originalIndex. The ordering is
+// stable for equal norms so results are deterministic.
+func (m *Matrix) SortRowsByNormDesc() []int {
+	norms := m.RowNorms()
+	perm := make([]int, m.Rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return norms[perm[a]] > norms[perm[b]]
+	})
+	old := m.Clone()
+	for newIdx, origIdx := range perm {
+		copy(m.Row(newIdx), old.Row(origIdx))
+	}
+	return perm
+}

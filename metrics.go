@@ -1,0 +1,67 @@
+package fexipro
+
+import (
+	"fexipro/internal/metrics"
+	"fexipro/internal/topk"
+)
+
+// RankingMetrics summarizes top-k recommendation quality over a set of
+// evaluated users.
+type RankingMetrics struct {
+	// PrecisionAtK, RecallAtK, NDCGAtK, and MAP are averaged over users
+	// that had at least one relevant held-out item.
+	PrecisionAtK, RecallAtK, NDCGAtK, MAP float64
+	// Users is the number of users that entered the averages.
+	Users int
+}
+
+// EvaluateRanking measures ranking quality on held-out ratings: for each
+// user appearing in test, items the user rated at or above relevanceBar
+// count as relevant, the recommender's top-k list is scored against
+// them, and the metrics are averaged. Items can legitimately appear in
+// both train and recommendations; callers wanting strict held-out
+// evaluation should exclude training items from test beforehand.
+func (r *Recommender) EvaluateRanking(test []Rating, k int, relevanceBar float64) (RankingMetrics, error) {
+	relevant := map[int]map[int]bool{}
+	for _, t := range test {
+		if t.Value >= relevanceBar {
+			if relevant[t.User] == nil {
+				relevant[t.User] = map[int]bool{}
+			}
+			relevant[t.User][t.Item] = true
+		}
+	}
+
+	var out RankingMetrics
+	var lists [][]topk.Result
+	var rels []map[int]bool
+	for user, rel := range relevant {
+		res, err := r.Recommend(user, k)
+		if err != nil {
+			return RankingMetrics{}, err
+		}
+		internalRes := make([]topk.Result, len(res))
+		for i, rr := range res {
+			internalRes[i] = topk.Result{ID: rr.ID, Score: rr.Score}
+		}
+		out.PrecisionAtK += metrics.PrecisionAtK(internalRes, rel, k)
+		out.RecallAtK += metrics.RecallAtK(internalRes, rel, k)
+		out.NDCGAtK += metrics.NDCGAtK(internalRes, rel, k)
+		lists = append(lists, internalRes)
+		rels = append(rels, rel)
+		out.Users++
+	}
+	if out.Users == 0 {
+		return out, nil
+	}
+	n := float64(out.Users)
+	out.PrecisionAtK /= n
+	out.RecallAtK /= n
+	out.NDCGAtK /= n
+	mapScore, err := metrics.MeanAveragePrecision(lists, rels, k)
+	if err != nil {
+		return RankingMetrics{}, err
+	}
+	out.MAP = mapScore
+	return out, nil
+}

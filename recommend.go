@@ -1,0 +1,133 @@
+package fexipro
+
+import (
+	"fmt"
+
+	"fexipro/internal/data"
+	"fexipro/internal/mf"
+)
+
+// Rating is one observed (user, item, value) triple, the input of the
+// learning phase.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// TrainConfig configures the learning phase of the recommender.
+type TrainConfig struct {
+	// Dim is the factorization rank d (default 32).
+	Dim int
+	// Algorithm is "ccd" (LIBPMF-style CCD++, default) or "sgd".
+	Algorithm string
+	// Lambda is the L2 regularization weight (default 0.05).
+	Lambda float64
+	// Iterations: outer sweeps for CCD, epochs for SGD (default 10/30).
+	Iterations int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Recommender is the end-to-end system of the paper's Figure 1: a
+// learning phase (matrix factorization) feeding a retrieval phase
+// (FEXIPRO top-k inner-product search).
+type Recommender struct {
+	model    *mf.Model
+	searcher *FEXIPRO
+}
+
+// Train factorizes the ratings into user/item factors and builds the
+// FEXIPRO retrieval index over the item factors.
+func Train(ratings []Rating, numUsers, numItems int, cfg TrainConfig, searchOpts Options) (*Recommender, error) {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 32
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 0.05
+	}
+	converted := make([]data.Rating, len(ratings))
+	for i, r := range ratings {
+		converted[i] = data.Rating{User: r.User, Item: r.Item, Value: r.Value}
+	}
+
+	var model *mf.Model
+	var err error
+	switch cfg.Algorithm {
+	case "", "ccd":
+		c := mf.DefaultCCDConfig(cfg.Dim)
+		c.Lambda = cfg.Lambda
+		if cfg.Iterations > 0 {
+			c.OuterIters = cfg.Iterations
+		}
+		if cfg.Seed != 0 {
+			c.Seed = cfg.Seed
+		}
+		model, err = mf.TrainCCD(converted, numUsers, numItems, c)
+	case "sgd":
+		c := mf.DefaultSGDConfig(cfg.Dim)
+		c.Lambda = cfg.Lambda
+		if cfg.Iterations > 0 {
+			c.Epochs = cfg.Iterations
+		}
+		if cfg.Seed != 0 {
+			c.Seed = cfg.Seed
+		}
+		model, err = mf.TrainSGD(converted, numUsers, numItems, c)
+	default:
+		return nil, fmt.Errorf("fexipro: unknown training algorithm %q", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	searcher, err := New(&Matrix{m: model.Items}, searchOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommender{model: model, searcher: searcher}, nil
+}
+
+// Recommend returns the top-k items for a learned user, by exact
+// inner-product retrieval over the item factors.
+func (r *Recommender) Recommend(user int, k int) ([]Result, error) {
+	if user < 0 || user >= r.model.Users.Rows {
+		return nil, fmt.Errorf("fexipro: user %d out of range [0,%d)", user, r.model.Users.Rows)
+	}
+	return r.searcher.Search(r.model.Users.Row(user), k), nil
+}
+
+// RecommendVector returns the top-k items for an ad-hoc user vector —
+// the dynamically adjusted query scenario (FindMe, Xbox) that motivates
+// FEXIPRO's single-query design.
+func (r *Recommender) RecommendVector(q []float64, k int) []Result {
+	return r.searcher.Search(q, k)
+}
+
+// UserVector returns (a copy of) the learned factor vector of a user.
+func (r *Recommender) UserVector(user int) []float64 {
+	row := r.model.Users.Row(user)
+	out := make([]float64, len(row))
+	copy(out, row)
+	return out
+}
+
+// ItemFactors returns the learned item factor matrix (shared storage; do
+// not mutate).
+func (r *Recommender) ItemFactors() *Matrix { return &Matrix{m: r.model.Items} }
+
+// UserFactors returns the learned user factor matrix (shared storage; do
+// not mutate).
+func (r *Recommender) UserFactors() *Matrix { return &Matrix{m: r.model.Users} }
+
+// GlobalBias returns the rating offset added to qᵀp for rating
+// prediction (retrieval order is unaffected by it).
+func (r *Recommender) GlobalBias() float64 { return r.model.GlobalBias }
+
+// RMSE evaluates rating-prediction accuracy on held-out ratings.
+func (r *Recommender) RMSE(ratings []Rating) float64 {
+	converted := make([]data.Rating, len(ratings))
+	for i, rr := range ratings {
+		converted[i] = data.Rating{User: rr.User, Item: rr.Item, Value: rr.Value}
+	}
+	return r.model.RMSE(converted)
+}

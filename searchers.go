@@ -1,0 +1,192 @@
+package fexipro
+
+import (
+	"fexipro/internal/balltree"
+	"fexipro/internal/batch"
+	"fexipro/internal/core"
+	"fexipro/internal/covertree"
+	"fexipro/internal/lemp"
+	"fexipro/internal/pcatree"
+	"fexipro/internal/scan"
+)
+
+// Options selects FEXIPRO's techniques and parameters. The zero value is
+// the paper's recommended full configuration F-SIR with ρ=0.7, e=100.
+type Options struct {
+	// Variant names the technique combination: "F-SIR" (default), "F-S",
+	// "F-I", "F-SI", "F-SR", or "F" for the bare sorted scan.
+	Variant string
+	// Rho sets the singular-value mass ratio that picks the checking
+	// dimension w (default 0.7).
+	Rho float64
+	// E is the integer scaling parameter (default 100).
+	E float64
+	// W overrides the checking dimension (0 = derive from Rho).
+	W int
+	// CompactInts stores integer approximations as int16 (halving their
+	// footprint); automatically falls back to int32 when E would
+	// overflow.
+	CompactInts bool
+}
+
+// FEXIPRO is the framework's public handle: a preprocessed index plus a
+// single-threaded query executor. For concurrent querying, share the
+// index via Clone-free NewRetriever calls: each FEXIPRO value obtained
+// from Retriever() owns independent scratch state.
+type FEXIPRO struct {
+	idx *core.Index
+	r   *core.Retriever
+}
+
+// New preprocesses items (rows are item vectors; copied) into a FEXIPRO
+// index using the requested variant.
+func New(items *Matrix, opts Options) (*FEXIPRO, error) {
+	variant := opts.Variant
+	if variant == "" {
+		variant = "F-SIR"
+	}
+	copts, err := core.OptionsForVariant(variant)
+	if err != nil {
+		return nil, err
+	}
+	copts.Rho = opts.Rho
+	copts.E = opts.E
+	copts.W = opts.W
+	copts.CompactInts = opts.CompactInts
+	idx, err := core.NewIndex(items.m, copts)
+	if err != nil {
+		return nil, err
+	}
+	return &FEXIPRO{idx: idx, r: core.NewRetriever(idx)}, nil
+}
+
+// Search implements Searcher.
+func (f *FEXIPRO) Search(q []float64, k int) []Result {
+	return convertResults(f.r.Search(q, k))
+}
+
+// LastStats implements Searcher.
+func (f *FEXIPRO) LastStats() Stats { return convertStats(f.r.Stats()) }
+
+// Retriever returns an additional query executor sharing this index;
+// each executor may be used from one goroutine at a time.
+func (f *FEXIPRO) Retriever() Searcher {
+	return wrap{s: core.NewRetriever(f.idx)}
+}
+
+// W reports the checking dimension chosen during preprocessing.
+func (f *FEXIPRO) W() int { return f.idx.W() }
+
+// TopKAll answers the top-k lists for a whole query workload against the
+// shared index, processing queries in decreasing norm order and sharding
+// them across workers (≤ 0 for single-threaded). Results are in input
+// order.
+func (f *FEXIPRO) TopKAll(queries *Matrix, k, workers int) ([][]Result, error) {
+	raw, err := core.BatchTopK(f.idx, queries.m, k, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(raw))
+	for i, rs := range raw {
+		out[i] = convertResults(rs)
+	}
+	return out, nil
+}
+
+var _ Searcher = (*FEXIPRO)(nil)
+
+// NewNaive returns the exhaustive-scan baseline (items referenced, not
+// copied; do not mutate afterwards).
+func NewNaive(items *Matrix) Searcher {
+	return wrap{s: scan.NewNaive(items.m)}
+}
+
+// NewSS returns the Cauchy–Schwarz sorted scan with incremental pruning
+// at checking dimension w (0 = default d/5).
+func NewSS(items *Matrix, w int) Searcher {
+	return wrap{s: scan.NewSS(items.m, w)}
+}
+
+// NewSSL returns SS-L, the LEMP-style normalized-vector scan baseline.
+// sampleQueries (optional, may be nil) drives LEMP-style w tuning.
+func NewSSL(items *Matrix, sampleQueries *Matrix) Searcher {
+	opts := scan.SSLOptions{}
+	if sampleQueries != nil {
+		opts.SampleQueries = sampleQueries.m
+	}
+	return wrap{s: scan.NewSSL(items.m, opts)}
+}
+
+// NewBallTree returns the BallTree exact MIPS baseline of Ram & Gray
+// (leafSize 0 = the paper's 20).
+func NewBallTree(items *Matrix, leafSize int) Searcher {
+	return wrap{s: balltree.New(items.m, leafSize)}
+}
+
+// NewFastMKS returns the cover-tree max-kernel baseline (leafSize 0 =
+// default 20).
+func NewFastMKS(items *Matrix, leafSize int) Searcher {
+	return wrap{s: covertree.New(items.m, leafSize)}
+}
+
+// NewPCATree returns the APPROXIMATE PCA-tree baseline of Bachrach et
+// al.; spillFraction > 0 trades speed for quality.
+func NewPCATree(items *Matrix, leafSize int, spillFraction float64) Searcher {
+	return wrap{s: pcatree.New(items.m, pcatree.Options{LeafSize: leafSize, SpillFraction: spillFraction})}
+}
+
+// LEMP is the batch top-k join engine (Teflioudi et al.).
+type LEMP struct {
+	idx *lemp.Index
+}
+
+// NewLEMP indexes items for batch retrieval. sampleQueries (optional)
+// tunes each bucket's checking dimension.
+func NewLEMP(items *Matrix, bucketSize int, sampleQueries *Matrix) *LEMP {
+	opts := lemp.Options{BucketSize: bucketSize}
+	if sampleQueries != nil {
+		opts.SampleQueries = sampleQueries.m
+	}
+	return &LEMP{idx: lemp.New(items.m, opts)}
+}
+
+// Search implements Searcher for a single query.
+func (l *LEMP) Search(q []float64, k int) []Result {
+	return convertResults(l.idx.Search(q, k))
+}
+
+// LastStats implements Searcher.
+func (l *LEMP) LastStats() Stats { return convertStats(l.idx.Stats()) }
+
+// TopKJoin returns the top-k list for every query row.
+func (l *LEMP) TopKJoin(queries *Matrix, k int) [][]Result {
+	raw := l.idx.TopKJoin(queries.m, k)
+	out := make([][]Result, len(raw))
+	for i, rs := range raw {
+		out[i] = convertResults(rs)
+	}
+	return out
+}
+
+var _ Searcher = (*LEMP)(nil)
+
+// MiniBatch is the blocked-matrix-multiplication batch baseline.
+type MiniBatch struct {
+	mb *batch.MiniBatch
+}
+
+// NewMiniBatch creates a batched GEMM engine (batchSize ≤ 0 → 100,
+// workers ≤ 0 → GOMAXPROCS).
+func NewMiniBatch(items *Matrix, batchSize, workers int) *MiniBatch {
+	return &MiniBatch{mb: batch.New(items.m, batch.Options{BatchSize: batchSize, Workers: workers})}
+}
+
+// TopKAll returns the top-k list for every query row.
+func (m *MiniBatch) TopKAll(queries *Matrix, k int) [][]Result {
+	raw := m.mb.TopKAll(queries.m, k)
+	out := make([][]Result, len(raw))
+	for i, rs := range raw {
+		out[i] = convertResults(rs)
+	}
+	return out
+}
