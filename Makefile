@@ -1,0 +1,37 @@
+# Developer and CI entry points. `make verify` is the tier-1 gate;
+# `make check` adds vet, formatting, and the race detector on top.
+
+GO ?= go
+
+.PHONY: all verify build test check vet fmt-check race bench
+
+all: check
+
+## verify: the tier-1 gate — build everything, run every test.
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## check: verify + static analysis + formatting + race detector.
+check: verify vet fmt-check race
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## race: full test suite under the race detector (observability layer
+## has dedicated concurrent-writer tests).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -7,6 +7,12 @@
 //	fexbench -exp all                    # the full evaluation suite
 //	fexbench -exp fig8,fig9 -profiles movielens,netflix
 //	fexbench -exp table4 -items 5000 -queries 50   # quick smoke run
+//	fexbench -statsjson -profiles netflix -k 10    # per-stage counters as JSON
+//
+// -statsjson dumps the cumulative per-pruning-stage counters in the
+// same schema fexserve exposes at /metrics and in its /v1/search
+// responses, so offline benchmark numbers and online telemetry are
+// directly comparable.
 //
 // Default sizes follow Table 2 of the paper (Yahoo scaled to 100k items)
 // with 200 sampled queries per dataset; expect minutes per experiment at
@@ -31,8 +37,31 @@ func main() {
 		queries  = flag.Int("queries", 0, "override query count (0 = profile default of 200)")
 		dim      = flag.Int("dim", 0, "override dimensionality d (0 = profile default of 50)")
 		list     = flag.Bool("list", false, "list available experiments and exit")
+		statsOut = flag.Bool("statsjson", false, "dump per-stage pruning counters as JSON (same schema as fexserve telemetry)")
+		methods  = flag.String("methods", "", "comma-separated methods for -statsjson (default: all of Table 4)")
+		k        = flag.Int("k", 1, "top-k for -statsjson")
 	)
 	flag.Parse()
+
+	if *statsOut {
+		cfg := experiments.Config{Items: *items, Queries: *queries, Dim: *dim}
+		if *profiles != "" {
+			cfg.Profiles = strings.Split(*profiles, ",")
+		}
+		var ms []string
+		if *methods != "" {
+			for _, m := range strings.Split(*methods, ",") {
+				ms = append(ms, strings.TrimSpace(m))
+			}
+		}
+		out, err := experiments.StatsJSON(cfg, ms, *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fexbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -4,6 +4,7 @@
 //
 //	fexserve -items data/items.fxp -addr :8080
 //	fexserve -dim 50 -addr :8080          # start with an empty catalog
+//	fexserve -dim 50 -log-format json -pprof
 //
 // API (JSON):
 //
@@ -13,60 +14,156 @@
 //	DELETE /v1/items/{id}
 //	GET    /v1/info     → {"items": n, "dim": d}
 //	GET    /v1/healthz
+//	GET    /metrics     Prometheus text format (per-stage pruning
+//	                    counters, latency histograms, build/mutation
+//	                    metrics)
+//	GET    /debug/pprof/  (only with -pprof)
+//
+// Every request is logged as one structured line (text or JSON via
+// -log-format) with a trace ID, latency, and search stage counters.
+// SIGINT/SIGTERM drain in-flight requests and log a final cumulative
+// metrics snapshot before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 	"time"
 
 	"fexipro/internal/core"
 	"fexipro/internal/data"
+	"fexipro/internal/obs"
 	"fexipro/internal/server"
 	"fexipro/internal/vec"
 )
 
+// shutdownTimeout bounds the in-flight request drain on SIGINT/SIGTERM.
+const shutdownTimeout = 10 * time.Second
+
 func main() {
 	var (
-		itemsPath = flag.String("items", "", "FXP1 item factor file (optional if -dim given)")
-		dim       = flag.Int("dim", 0, "dimension for an empty starting catalog")
-		addr      = flag.String("addr", ":8080", "listen address")
-		variant   = flag.String("variant", "F-SIR", "FEXIPRO variant")
+		itemsPath   = flag.String("items", "", "FXP1 item factor file (optional if -dim given)")
+		dim         = flag.Int("dim", 0, "dimension for an empty starting catalog")
+		addr        = flag.String("addr", ":8080", "listen address")
+		variant     = flag.String("variant", "F-SIR", "FEXIPRO variant")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fexserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	var items *vec.Matrix
 	switch {
 	case *itemsPath != "":
 		m, err := data.LoadMatrix(*itemsPath)
 		if err != nil {
-			log.Fatalf("fexserve: %v", err)
+			fatal(logger, "load items", err)
 		}
 		items = m
 	case *dim > 0:
 		items = vec.NewMatrix(0, *dim)
 	default:
-		log.Fatal("fexserve: provide -items FILE or -dim N")
+		fatal(logger, "usage", errors.New("provide -items FILE or -dim N"))
 	}
 
 	opts, err := core.OptionsForVariant(*variant)
 	if err != nil {
-		log.Fatalf("fexserve: %v", err)
+		fatal(logger, "variant", err)
 	}
-	start := time.Now()
-	srv, err := server.New(items, opts)
+
+	reg := obs.NewRegistry()
+	buildStart := time.Now()
+	srv, err := server.NewWithConfig(items, opts, server.Config{
+		Metrics:     reg,
+		Logger:      logger,
+		EnablePprof: *enablePprof,
+	})
 	if err != nil {
-		log.Fatalf("fexserve: %v", err)
+		fatal(logger, "index build", err)
 	}
-	fmt.Printf("fexserve: indexed %d items (d=%d, %s) in %v; listening on %s\n",
-		items.Rows, items.Cols, *variant, time.Since(start).Round(time.Millisecond), *addr)
+	buildDur := time.Since(buildStart)
+	reg.Gauge("fexserve_index_build_seconds",
+		"Wall time of the initial index build (preprocessing, Algorithm 3).").Set(buildDur.Seconds())
+	reg.Gauge("fexserve_index_dim", "Latent dimensionality d of the index.").Set(float64(items.Cols))
+	reg.Gauge("fexserve_start_time_seconds",
+		"Unix time the process finished startup.").Set(float64(time.Now().Unix()))
+
+	logger.Info("startup",
+		"items", items.Rows, "dim", items.Cols, "variant", opts.Variant(),
+		"buildMillis", buildDur.Milliseconds(), "addr", *addr,
+		"pprof", *enablePprof)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Graceful shutdown: trap SIGINT/SIGTERM, drain in-flight requests.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		got := <-sig
+		logger.Info("shutdown", "signal", got.String(), "drainTimeout", shutdownTimeout.String())
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown drain failed", "err", err)
+		}
+		close(idle)
+	}()
+
+	err = httpSrv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(logger, "listen", err)
+	}
+	<-idle
+	logFinalSnapshot(logger, reg)
+}
+
+// newLogger builds the process logger in the requested format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// logFinalSnapshot emits the cumulative metric state as the last lines
+// of the process, so a terminated deployment still leaves its totals in
+// the log stream.
+func logFinalSnapshot(logger *slog.Logger, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]any, 0, 2*len(keys))
+	for _, k := range keys {
+		attrs = append(attrs, k, snap[k])
+	}
+	logger.Info("final metrics snapshot", attrs...)
+}
+
+func fatal(logger *slog.Logger, stage string, err error) {
+	logger.Error("fatal", "stage", stage, "err", err)
+	os.Exit(1)
 }

@@ -84,14 +84,31 @@ type Result struct {
 
 // Stats reports the work performed by the most recent Search call of a
 // Searcher, mirroring the instrumentation behind the paper's Tables 3/7.
+// The five per-stage pruning counters are reported individually (one per
+// bound in the cascade) alongside the collapsed Pruned total.
 type Stats struct {
 	// Scanned is the number of candidates examined before termination.
 	Scanned int
-	// Pruned counts candidates eliminated by any bound without computing
-	// their full inner product.
+	// PrunedByLength counts items skipped via the Cauchy–Schwarz length
+	// bound, including everything cut off by early termination of the
+	// sorted scan.
+	PrunedByLength int
+	// PrunedByIntHead and PrunedByIntFull count prunes by the partial and
+	// full integer upper bounds.
+	PrunedByIntHead int
+	PrunedByIntFull int
+	// PrunedByIncremental counts prunes by the float incremental bound
+	// after the exact head dimensions.
+	PrunedByIncremental int
+	// PrunedByMonotone counts prunes by the monotonicity-reduction bound.
+	PrunedByMonotone int
+	// Pruned is the sum of the five per-stage counters: candidates
+	// eliminated by any bound without computing their full inner product.
 	Pruned int
 	// FullProducts is the number of entire qᵀp computations.
 	FullProducts int
+	// NodesVisited counts tree nodes expanded (tree methods only).
+	NodesVisited int
 }
 
 // Searcher is the common interface of every retrieval method.
@@ -124,9 +141,14 @@ func convertResults(in []topk.Result) []Result {
 
 func convertStats(st search.Stats) Stats {
 	return Stats{
-		Scanned: st.Scanned,
-		Pruned: st.PrunedByLength + st.PrunedByIntHead + st.PrunedByIntFull +
-			st.PrunedByIncremental + st.PrunedByMonotone,
-		FullProducts: st.FullProducts,
+		Scanned:             st.Scanned,
+		PrunedByLength:      st.PrunedByLength,
+		PrunedByIntHead:     st.PrunedByIntHead,
+		PrunedByIntFull:     st.PrunedByIntFull,
+		PrunedByIncremental: st.PrunedByIncremental,
+		PrunedByMonotone:    st.PrunedByMonotone,
+		Pruned:              st.TotalPruned(),
+		FullProducts:        st.FullProducts,
+		NodesVisited:        st.NodesVisited,
 	}
 }

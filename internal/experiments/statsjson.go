@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fexipro/internal/obs"
+)
+
+// StatsReport is one (dataset, method, k) cell of the offline
+// counterpart to the service's /metrics: the cumulative per-stage
+// pruning counters over every query of the workload, in the exact
+// schema (obs.StageCounters) that fexserve reports online. This keeps
+// benchmark dumps and production telemetry diffable field by field.
+type StatsReport struct {
+	Dataset         string            `json:"dataset"`
+	Method          string            `json:"method"`
+	K               int               `json:"k"`
+	Queries         int               `json:"queries"`
+	Items           int               `json:"items"`
+	Dim             int               `json:"dim"`
+	PreprocessMs    float64           `json:"preprocessMs"`
+	RetrieveMs      float64           `json:"retrieveMs"`
+	AvgFullProducts float64           `json:"avgFullProducts"`
+	Stages          obs.StageCounters `json:"stages"`
+}
+
+// CollectStats runs each named method over each configured profile at k
+// and returns one StatsReport per (dataset, method) pair.
+func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
+	if len(methods) == 0 {
+		methods = MethodNames
+	}
+	if k <= 0 {
+		k = 1
+	}
+	var out []StatsReport
+	for _, p := range cfg.profiles() {
+		ds := cfg.Load(p)
+		for _, name := range methods {
+			r, err := RunMethod(name, ds, k, false)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stats for %s/%s: %w", p.Name, name, err)
+			}
+			out = append(out, StatsReport{
+				Dataset:         r.Dataset,
+				Method:          r.Method,
+				K:               r.K,
+				Queries:         r.QueriesCount,
+				Items:           ds.Items.Rows,
+				Dim:             ds.Items.Cols,
+				PreprocessMs:    float64(r.Preprocess.Microseconds()) / 1e3,
+				RetrieveMs:      float64(r.Retrieve.Microseconds()) / 1e3,
+				AvgFullProducts: r.AvgFullIP,
+				Stages:          obs.StageCountersFrom(r.Stats),
+			})
+		}
+	}
+	return out, nil
+}
+
+// StatsJSON renders CollectStats output as an indented JSON array.
+func StatsJSON(cfg Config, methods []string, k int) (string, error) {
+	reports, err := CollectStats(cfg, methods, k)
+	if err != nil {
+		return "", err
+	}
+	raw, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
+}

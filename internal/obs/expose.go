@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format v0.0.4 with deterministic ordering: families sorted
+// by name, series sorted by label key. Suitable for scraping at
+// GET /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		f.mu.RLock()
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		series := make(map[string]any, len(keys))
+		for _, k := range keys {
+			series[k] = f.series[k]
+		}
+		f.mu.RUnlock()
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			continue
+		}
+
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range keys {
+			if err := writeSeries(w, f, series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s any) error {
+	switch m := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelBlock(m.labels, nil), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(m.labels, nil), formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		cum := m.CumulativeBuckets()
+		for i, ub := range f.buckets {
+			le := Label{Name: "le", Value: formatFloat(ub)}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelBlock(m.labels, &le), cum[i]); err != nil {
+				return err
+			}
+		}
+		le := Label{Name: "le", Value: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelBlock(m.labels, &le), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelBlock(m.labels, nil), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelBlock(m.labels, nil), m.Count())
+		return err
+	}
+	return nil
+}
+
+// labelBlock renders {a="x",b="y"} (empty string when no labels). extra
+// is appended last (used for the histogram "le" label).
+func labelBlock(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

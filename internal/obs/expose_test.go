@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("zeta_total", "last family by name", L("variant", "F-SIR")).Add(7)
+	r.Counter("alpha_total", "first family", L("b", "2"), L("a", "1")).Add(1)
+	r.Gauge("mid_gauge", "a gauge").Set(3.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(2)
+	return r
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	var b strings.Builder
+	if err := buildSample().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE alpha_total counter",
+		"# HELP alpha_total first family",
+		`alpha_total{a="1",b="2"} 1`,
+		"# TYPE mid_gauge gauge",
+		"mid_gauge 3.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.0055",
+		"lat_seconds_count 3",
+		`zeta_total{variant="F-SIR"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families appear in sorted order.
+	if strings.Index(out, "alpha_total") > strings.Index(out, "zeta_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+// TestExpositionStableAndParseable renders twice and checks both that
+// the output is byte-identical (stable ordering) and that every line is
+// well-formed text format v0.0.4.
+func TestExpositionStableAndParseable(t *testing.T) {
+	r := buildSample()
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exposition not stable:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	sc := bufio.NewScanner(strings.NewReader(a.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !comment.MatchString(line) {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("v", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	buildSample().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "alpha_total") {
+		t.Fatalf("body missing metrics:\n%s", rec.Body.String())
+	}
+}

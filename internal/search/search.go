@@ -44,6 +44,16 @@ type Stats struct {
 	NodesVisited int
 }
 
+// TotalPruned is the collapsed pruning count: every item eliminated by
+// any of the five bounds without computing its full inner product. This
+// is the one place the five stage counters are summed — callers that
+// need a single "pruned" figure (public API, JSON responses, tables)
+// must use it rather than re-summing by hand.
+func (s Stats) TotalPruned() int {
+	return s.PrunedByLength + s.PrunedByIntHead + s.PrunedByIntFull +
+		s.PrunedByIncremental + s.PrunedByMonotone
+}
+
 // Add accumulates other into s (used when averaging over query batches).
 func (s *Stats) Add(other Stats) {
 	s.Scanned += other.Scanned

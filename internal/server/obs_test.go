@@ -1,0 +1,277 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/obs"
+	"fexipro/internal/server"
+	"fexipro/internal/vec"
+)
+
+// syncBuffer lets the test read slog output written by handler
+// goroutines without a data race.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newObsServer(t *testing.T, n, d int, cfg server.Config) *httptest.Server {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	items := vec.NewMatrix(n, d)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	srv, err := server.NewWithConfig(items, core.Options{SVD: true, Int: true, Reduction: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// metricValue extracts one sample value from a Prometheus exposition.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, sample+" "), 64)
+			if err != nil {
+				t.Fatalf("bad sample line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in exposition:\n%s", sample, body)
+	return 0
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var b strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// TestMetricsAdvance is the end-to-end acceptance test: /metrics serves
+// Prometheus text format with all five per-stage pruning counters and a
+// per-variant latency histogram, and the counters strictly increase
+// across repeated /v1/search and /v1/items calls.
+func TestMetricsAdvance(t *testing.T) {
+	ts := newObsServer(t, 400, 8, server.Config{})
+	q := []float64{1, -0.5, 0.3, 0.7, -0.2, 0.1, 0.9, -1.1}
+
+	search := func() {
+		resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search status %d", resp.StatusCode)
+		}
+	}
+
+	search()
+	body1 := scrape(t, ts.URL)
+
+	// All five stage counters must be present under the variant label.
+	for _, stage := range obs.Stages {
+		sample := `fexipro_pruned_items_total{stage="` + stage + `",variant="F-SIR"}`
+		metricValue(t, body1, sample)
+	}
+	// Latency histogram labeled by variant.
+	if !strings.Contains(body1, `fexipro_search_latency_seconds_bucket{variant="F-SIR",le="`) {
+		t.Fatalf("no per-variant latency histogram:\n%s", body1)
+	}
+
+	search()
+	search()
+	body2 := scrape(t, ts.URL)
+
+	inc := func(sample string) {
+		v1, v2 := metricValue(t, body1, sample), metricValue(t, body2, sample)
+		if v2 <= v1 {
+			t.Fatalf("%s did not advance: %v → %v", sample, v1, v2)
+		}
+	}
+	inc(`fexipro_searches_total{variant="F-SIR"}`)
+	inc(`fexipro_scanned_items_total{variant="F-SIR"}`)
+	inc(`fexipro_search_latency_seconds_count{variant="F-SIR"}`)
+	inc(`fexserve_http_requests_total{method="POST",route="/v1/search",status="2xx"}`)
+	// The int-head bound is the workhorse stage for F-SIR on this data.
+	inc(`fexipro_pruned_items_total{stage="int_head",variant="F-SIR"}`)
+
+	// /v1/items advances the mutation counter and the items gauge.
+	before := metricValue(t, scrape(t, ts.URL), "fexserve_index_items")
+	resp := postJSON(t, ts.URL+"/v1/items", map[string]any{"vector": q})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	after := scrape(t, ts.URL)
+	if got := metricValue(t, after, "fexserve_items_added_total"); got != 1 {
+		t.Fatalf("items added = %v, want 1", got)
+	}
+	if got := metricValue(t, after, "fexserve_index_items"); got != before+1 {
+		t.Fatalf("items gauge = %v, want %v", got, before+1)
+	}
+}
+
+func TestTraceIDHeader(t *testing.T) {
+	ts := newObsServer(t, 50, 4, server.Config{})
+	// Generated when absent, hex shaped.
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 0, 0, 0}, "k": 1})
+	defer resp.Body.Close()
+	id := resp.Header.Get(obs.TraceHeader)
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(id) {
+		t.Fatalf("generated trace id %q", id)
+	}
+	var body struct {
+		TraceID string `json:"traceId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.TraceID != id {
+		t.Fatalf("response traceId %q != header %q", body.TraceID, id)
+	}
+
+	// Propagated when supplied.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/info", nil)
+	req.Header.Set(obs.TraceHeader, "caller-supplied-id-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(obs.TraceHeader); got != "caller-supplied-id-42" {
+		t.Fatalf("propagated trace id %q", got)
+	}
+
+	// Garbage is replaced, not reflected.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/info", nil)
+	req.Header.Set(obs.TraceHeader, "bad id with spaces")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get(obs.TraceHeader); strings.Contains(got, " ") || got == "" {
+		t.Fatalf("invalid trace id reflected: %q", got)
+	}
+}
+
+func TestStructuredRequestLog(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts := newObsServer(t, 100, 4, server.Config{Logger: logger})
+
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 2, 3, 4}, "k": 3})
+	resp.Body.Close()
+
+	line := strings.TrimSpace(buf.String())
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.Split(line, "\n")[0]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, line)
+	}
+	if entry["msg"] != "request" {
+		t.Fatalf("msg = %v", entry["msg"])
+	}
+	for _, key := range []string{"traceId", "method", "path", "status", "tookMicros", "k", "stages"} {
+		if _, ok := entry[key]; !ok {
+			t.Fatalf("log line missing %q: %v", key, entry)
+		}
+	}
+	stages, ok := entry["stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("stages not a group: %v", entry["stages"])
+	}
+	for _, key := range []string{"scanned", "prunedByLength", "prunedByIntHead", "prunedByIntFull",
+		"prunedByIncremental", "prunedByMonotone", "fullProducts"} {
+		if _, ok := stages[key]; !ok {
+			t.Fatalf("stages missing %q: %v", key, stages)
+		}
+	}
+	if entry["method"] != "POST" || entry["path"] != "/v1/search" {
+		t.Fatalf("wrong method/path: %v", entry)
+	}
+}
+
+func TestSearchResponseStageCounters(t *testing.T) {
+	ts := newObsServer(t, 300, 8, server.Config{})
+	q := []float64{1, -0.5, 0.3, 0.7, -0.2, 0.1, 0.9, -1.1}
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
+	defer resp.Body.Close()
+	var body struct {
+		Stats obs.StageCounters `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	st := body.Stats
+	sum := st.PrunedByLength + st.PrunedByIntHead + st.PrunedByIntFull +
+		st.PrunedByIncremental + st.PrunedByMonotone
+	if st.Pruned != sum {
+		t.Fatalf("pruned %d != stage sum %d (%+v)", st.Pruned, sum, st)
+	}
+	if st.Scanned == 0 || st.Pruned == 0 {
+		t.Fatalf("per-stage counters not populated: %+v", st)
+	}
+}
+
+func TestPprofMounting(t *testing.T) {
+	get := func(ts *httptest.Server) int {
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(newObsServer(t, 20, 4, server.Config{})); code != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: status %d", code)
+	}
+	if code := get(newObsServer(t, 20, 4, server.Config{EnablePprof: true})); code != http.StatusOK {
+		t.Fatalf("pprof opt-in: status %d", code)
+	}
+}

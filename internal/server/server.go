@@ -7,6 +7,13 @@
 //	DELETE /v1/items/{id}
 //	GET    /v1/info
 //	GET    /v1/healthz
+//	GET    /metrics            Prometheus text exposition
+//	GET    /debug/pprof/       (opt-in via Config.EnablePprof)
+//
+// Every request is assigned (or propagates) an X-Trace-Id, is measured
+// into the metrics registry, and emits one structured log line carrying
+// the trace ID, latency, and — for search requests — k plus the
+// per-pruning-stage counters of the paper's Tables 3/7.
 //
 // The handler serializes index access with a mutex: FEXIPRO retrievers
 // are single-goroutine and the dynamic index mutates on writes. For
@@ -16,19 +23,38 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"fexipro/internal/core"
+	"fexipro/internal/obs"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
 )
+
+// Config tunes the observability and limits of a Server. The zero value
+// is usable: a private metrics registry, a no-op logger, pprof off.
+type Config struct {
+	// Metrics receives all server and search metrics. Nil allocates a
+	// private registry (still served at /metrics).
+	Metrics *obs.Registry
+	// Logger receives one structured line per request. Nil discards.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// MaxK caps per-request k to bound response sizes (default 1000).
+	MaxK int
+}
 
 // Server is the HTTP handler set over one dynamic index.
 type Server struct {
@@ -37,19 +63,74 @@ type Server struct {
 	dim int
 	// MaxK caps per-request k to bound response sizes (default 1000).
 	MaxK int
+
+	cfg      Config
+	reg      *obs.Registry
+	log      *slog.Logger
+	rec      *obs.SearchRecorder
+	reqTotal func(method, route, status string) *obs.Counter
+	reqDur   func(route string) *obs.Histogram
+	adds     *obs.Counter
+	deletes  *obs.Counter
+	items    *obs.Gauge
 }
 
 // New builds a server over an initial item matrix (rows are items; may
-// be empty with a positive dimension) using the given FEXIPRO options.
+// be empty with a positive dimension) using the given FEXIPRO options
+// and default observability (private registry, discarded logs).
 func New(initial *vec.Matrix, opts core.Options) (*Server, error) {
+	return NewWithConfig(initial, opts, Config{})
+}
+
+// NewWithConfig builds a server with explicit observability wiring.
+func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server, error) {
 	idx, err := core.NewDynamicIndex(initial, opts, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{idx: idx, dim: initial.Cols, MaxK: 1000}, nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	reg := cfg.Metrics
+	s := &Server{
+		idx:  idx,
+		dim:  initial.Cols,
+		MaxK: cfg.MaxK,
+		cfg:  cfg,
+		reg:  reg,
+		log:  cfg.Logger,
+		rec:  obs.NewSearchRecorder(reg, opts.Variant()),
+		adds: reg.Counter("fexserve_items_added_total",
+			"Items inserted through POST /v1/items."),
+		deletes: reg.Counter("fexserve_items_deleted_total",
+			"Items retired through DELETE /v1/items/{id}."),
+		items: reg.Gauge("fexserve_index_items",
+			"Live items currently in the index."),
+	}
+	s.reqTotal = func(method, route, status string) *obs.Counter {
+		return reg.Counter("fexserve_http_requests_total",
+			"HTTP requests served, by method, route, and status class.",
+			obs.L("method", method), obs.L("route", route), obs.L("status", status))
+	}
+	s.reqDur = func(route string) *obs.Histogram {
+		return reg.Histogram("fexserve_http_request_duration_seconds",
+			"End-to-end HTTP request latency in seconds.", nil, obs.L("route", route))
+	}
+	s.items.Set(float64(idx.Len()))
+	return s, nil
 }
 
-// Handler returns the route multiplexer.
+// Metrics returns the registry the server reports into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the route multiplexer wrapped with the tracing,
+// logging, and metrics middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
@@ -61,7 +142,137 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.observe(mux)
+}
+
+// reqInfo is filled in by handlers so the middleware can log
+// search-specific fields (k, per-stage counters) without re-plumbing
+// every handler's return path.
+type reqInfo struct {
+	k        int
+	stats    obs.StageCounters
+	hasStats bool
+}
+
+type reqInfoKey struct{}
+
+// statusWriter captures the response status for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observe is the middleware: trace-ID assignment/propagation, request
+// metrics, and one structured log line per request.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get(obs.TraceHeader)
+		if !obs.ValidTraceID(traceID) {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, traceID)
+
+		info := &reqInfo{}
+		ctx := obs.WithTraceID(r.Context(), traceID)
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		took := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r)
+		s.reqTotal(r.Method, route, statusClass(sw.status)).Inc()
+		s.reqDur(route).Observe(took.Seconds())
+
+		attrs := []slog.Attr{
+			slog.String("traceId", traceID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("tookMicros", took.Microseconds()),
+		}
+		if info.hasStats {
+			st := info.stats
+			attrs = append(attrs,
+				slog.Int("k", info.k),
+				slog.Group("stages",
+					slog.Int("scanned", st.Scanned),
+					slog.Int("prunedByLength", st.PrunedByLength),
+					slog.Int("prunedByIntHead", st.PrunedByIntHead),
+					slog.Int("prunedByIntFull", st.PrunedByIntFull),
+					slog.Int("prunedByIncremental", st.PrunedByIncremental),
+					slog.Int("prunedByMonotone", st.PrunedByMonotone),
+					slog.Int("fullProducts", st.FullProducts),
+				),
+			)
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}
+
+// routeLabel maps the request onto a bounded label set so metric
+// cardinality cannot grow with URL contents.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/search":
+		return "/v1/search"
+	case p == "/v1/above":
+		return "/v1/above"
+	case p == "/v1/items":
+		return "/v1/items"
+	case strings.HasPrefix(p, "/v1/items/"):
+		return "/v1/items/{id}"
+	case p == "/v1/info":
+		return "/v1/info"
+	case p == "/v1/healthz":
+		return "/v1/healthz"
+	case p == "/metrics":
+		return "/metrics"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	}
+	return "5xx"
 }
 
 type searchRequest struct {
@@ -76,24 +287,10 @@ type resultJSON struct {
 }
 
 type searchResponse struct {
-	Results    []resultJSON `json:"results"`
-	TookMicros int64        `json:"tookMicros"`
-	Stats      statsJSON    `json:"stats"`
-}
-
-type statsJSON struct {
-	Scanned      int `json:"scanned"`
-	Pruned       int `json:"pruned"`
-	FullProducts int `json:"fullProducts"`
-}
-
-func toStatsJSON(st search.Stats) statsJSON {
-	return statsJSON{
-		Scanned: st.Scanned,
-		Pruned: st.PrunedByLength + st.PrunedByIntHead + st.PrunedByIntFull +
-			st.PrunedByIncremental + st.PrunedByMonotone,
-		FullProducts: st.FullProducts,
-	}
+	Results    []resultJSON      `json:"results"`
+	TookMicros int64             `json:"tookMicros"`
+	TraceID    string            `json:"traceId,omitempty"`
+	Stats      obs.StageCounters `json:"stats"`
 }
 
 func (s *Server) decodeVector(w http.ResponseWriter, r *http.Request, req *searchRequest) bool {
@@ -115,6 +312,19 @@ func (s *Server) decodeVector(w http.ResponseWriter, r *http.Request, req *searc
 	return true
 }
 
+// noteSearch records a completed search into the cumulative metrics and
+// exposes its counters to the logging middleware.
+func (s *Server) noteSearch(r *http.Request, k int, st search.Stats, took time.Duration) obs.StageCounters {
+	sc := obs.StageCountersFrom(st)
+	s.rec.RecordSearch(st, took.Seconds())
+	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		info.k = k
+		info.stats = sc
+		info.hasStats = true
+	}
+	return sc
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if !s.decodeVector(w, r, &req) {
@@ -133,10 +343,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	results := s.idx.Search(req.Vector, req.K)
 	st := s.idx.Stats()
 	s.mu.Unlock()
+	took := time.Since(start)
 	writeJSON(w, searchResponse{
 		Results:    toResultsJSON(results),
-		TookMicros: time.Since(start).Microseconds(),
-		Stats:      toStatsJSON(st),
+		TookMicros: took.Microseconds(),
+		TraceID:    obs.TraceIDFrom(r.Context()),
+		Stats:      s.noteSearch(r, req.K, st, took),
 	})
 }
 
@@ -154,13 +366,15 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 	results := s.idx.SearchAbove(req.Vector, *req.Threshold)
 	st := s.idx.Stats()
 	s.mu.Unlock()
+	took := time.Since(start)
 	if len(results) > s.MaxK {
 		results = results[:s.MaxK] // keep responses bounded
 	}
 	writeJSON(w, searchResponse{
 		Results:    toResultsJSON(results),
-		TookMicros: time.Since(start).Microseconds(),
-		Stats:      toStatsJSON(st),
+		TookMicros: took.Microseconds(),
+		TraceID:    obs.TraceIDFrom(r.Context()),
+		Stats:      s.noteSearch(r, 0, st, took),
 	})
 }
 
@@ -187,11 +401,14 @@ func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	id, err := s.idx.Add(req.Vector)
+	n := s.idx.Len()
 	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "add failed: %v", err)
 		return
 	}
+	s.adds.Inc()
+	s.items.Set(float64(n))
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, map[string]int{"id": id})
 }
@@ -205,11 +422,14 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	err = s.idx.Delete(id)
+	n := s.idx.Len()
 	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	s.deletes.Inc()
+	s.items.Set(float64(n))
 	w.WriteHeader(http.StatusNoContent)
 }
 
