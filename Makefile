@@ -1,9 +1,9 @@
 # Developer and CI entry points. `make verify` is the tier-1 gate;
-# `make check` adds vet, formatting, and the race detector on top.
+# `make check` adds vet, lint, formatting, and the race detector on top.
 
 GO ?= go
 
-.PHONY: all verify build test check vet fmt-check race bench
+.PHONY: all verify build test check vet lint fmt-check precommit race bench
 
 all: check
 
@@ -17,16 +17,27 @@ test:
 	$(GO) test ./...
 
 ## check: verify + static analysis + formatting + race detector.
-check: verify vet fmt-check race
+check: verify vet lint fmt-check race
 
 vet:
 	$(GO) vet ./...
+
+## lint: project-specific static analysis. fexlint enforces FEXIPRO's
+## exactness and telemetry invariants (float comparisons, stage-counter
+## discipline, RNG seeding, discarded errors, mutex/atomic copies).
+## Exits non-zero on any diagnostic; see DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/fexlint ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+## precommit: the fast pre-push gate — formatting, vet, and fexlint,
+## failing at the first broken step. Run this before every commit.
+precommit: fmt-check vet lint
 
 ## race: full test suite under the race detector (observability layer
 ## has dedicated concurrent-writer tests).

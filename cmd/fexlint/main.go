@@ -1,0 +1,107 @@
+// Command fexlint runs the project-specific static analyzers of
+// internal/lint over the repository. It is stdlib-only (go/ast +
+// go/types with a `go list`-free loader) and is wired into `make lint`,
+// `make check`, `make precommit`, and CI.
+//
+// Usage:
+//
+//	fexlint [-json] [-analyzers a,b,...] [patterns...]
+//
+// Patterns default to ./... relative to the enclosing module. Exit
+// status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+//
+// Suppress a finding with a trailing or preceding line comment:
+//
+//	//lint:ignore <analyzer> reason
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fexipro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fexlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+	units, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+	loadFailed := false
+	for _, u := range units {
+		for _, terr := range u.TypeErrors {
+			loadFailed = true
+			fmt.Fprintf(os.Stderr, "fexlint: %s: type error: %v\n", u.Path, terr)
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+
+	diags := lint.Run(units, analyzers)
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !filepath.IsAbs(rel) {
+			diags[i].File = rel
+		}
+	}
+	if *jsonOut {
+		out := struct {
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+			Count       int               `json:"count"`
+		}{Diagnostics: diags, Count: len(diags)}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "fexlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -15,7 +15,7 @@ func (f *FEXIPRO) SaveIndex(path string) error {
 		return err
 	}
 	if _, err := f.idx.WriteTo(file); err != nil {
-		file.Close()
+		_ = file.Close() // the write error is the one worth reporting
 		return err
 	}
 	return file.Close()

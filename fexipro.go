@@ -111,6 +111,16 @@ type Stats struct {
 	NodesVisited int
 }
 
+// TotalPruned returns the sum of the five per-stage pruning counters:
+// every candidate eliminated by any bound without computing its full
+// inner product. It always equals the Pruned field on Stats produced by
+// this package; the method is the collapse point callers should use
+// when deriving the total from individually adjusted stage counters.
+func (s Stats) TotalPruned() int {
+	return s.PrunedByLength + s.PrunedByIntHead + s.PrunedByIntFull +
+		s.PrunedByIncremental + s.PrunedByMonotone
+}
+
 // Searcher is the common interface of every retrieval method.
 type Searcher interface {
 	// Search returns the top-k inner products of q against the indexed

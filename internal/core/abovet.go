@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -41,11 +40,6 @@ func (r *Retriever) SearchAbove(q []float64, t float64) []topk.Result {
 			out = append(out, topk.Result{ID: idx.perm[i], Score: v})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].ID < out[b].ID
-	})
+	topk.SortResults(out)
 	return out
 }

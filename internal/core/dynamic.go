@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -223,12 +222,7 @@ func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
 		}
 		di.stats.Add(di.mainRet.Stats())
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].ID < out[b].ID
-	})
+	topk.SortResults(out)
 	return out
 }
 

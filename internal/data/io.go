@@ -81,7 +81,7 @@ func SaveMatrix(path string, m *vec.Matrix) error {
 		return err
 	}
 	if err := WriteMatrixBinary(f, m); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -92,6 +92,7 @@ func Histogram(title string, values []float64, bins int) string {
 			hi = v
 		}
 	}
+	//lint:ignore floatcmp exact equality detects the zero-width degenerate range
 	if hi == lo {
 		fmt.Fprintf(&b, "all %d values equal %.4g\n", len(values), lo)
 		return b.String()

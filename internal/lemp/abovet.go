@@ -3,7 +3,6 @@ package lemp
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -29,7 +28,7 @@ func (idx *Index) SearchAbove(q []float64, t float64) []topk.Result {
 					out = append(out, topk.Result{ID: id, Score: 0})
 				}
 			}
-			sortAboveResults(out)
+			topk.SortResults(out)
 		}
 		return out
 	}
@@ -45,7 +44,7 @@ func (idx *Index) SearchAbove(q []float64, t float64) []topk.Result {
 		}
 		idx.scanBucketAbove(b, qUnit, qNorm, t, &out)
 	}
-	sortAboveResults(out)
+	topk.SortResults(out)
 	return out
 }
 
@@ -94,13 +93,4 @@ func (idx *Index) AboveJoin(queries *vec.Matrix, t float64) [][]topk.Result {
 	}
 	idx.stats = acc
 	return out
-}
-
-func sortAboveResults(rs []topk.Result) {
-	sort.Slice(rs, func(a, b int) bool {
-		if rs[a].Score != rs[b].Score {
-			return rs[a].Score > rs[b].Score
-		}
-		return rs[a].ID < rs[b].ID
-	})
 }

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is a lite errcheck: an expression statement that calls a
+// function returning an error silently drops it. An exact retrieval
+// service cannot afford silent I/O failures (a truncated index file is
+// a wrong-answers bug, not a style nit). Allowlisted idioms:
+//
+//   - explicit discards: `_ = f()` (and `x, _ := f()`), which document
+//     the decision at the call site;
+//   - `defer x.Close()` / Flush / Sync, the conventional best-effort
+//     cleanup on read paths;
+//   - the fmt package and in-memory writers (strings.Builder,
+//     bytes.Buffer), whose errors are unreachable or unactionable.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flags discarded error return values outside `_ =` and `defer Close` idioms",
+	Run:  runErrCheck,
+}
+
+// deferAllowed are method names whose error may be dropped in a defer.
+var deferAllowed = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := node.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, "call", false)
+				}
+				return false
+			case *ast.DeferStmt:
+				checkDiscardedError(pass, node.Call, "deferred call", true)
+				return false
+			case *ast.GoStmt:
+				checkDiscardedError(pass, node.Call, "go statement", false)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr, verb string, deferred bool) {
+	t := pass.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return // conversion, builtin, or unresolved
+	}
+	if !returnsError(sig) {
+		return
+	}
+	if errCheckAllowed(pass, call, deferred) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s discards its error result; handle it or discard explicitly with `_ =`", verb)
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// errCheckAllowed applies the idiom allowlist.
+func errCheckAllowed(pass *Pass, call *ast.CallExpr, deferred bool) bool {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if deferred && isSel && deferAllowed[sel.Sel.Name] && len(call.Args) == 0 {
+		return true
+	}
+	// Package-level allowlist: the whole fmt package.
+	if isSel {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() == "fmt"
+			}
+		}
+		// Method allowlist: in-memory writers never fail meaningfully.
+		if s, ok := pass.Info.Selections[sel]; ok {
+			recv := s.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					switch obj.Pkg().Path() + "." + obj.Name() {
+					case "strings.Builder", "bytes.Buffer":
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

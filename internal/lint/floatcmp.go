@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags ==/!= comparisons (and switch cases) between
+// floating-point expressions in production code. FEXIPRO's exactness
+// guarantees (Theorems 1–4) rest on conservative bound arithmetic;
+// float equality is the classic way an "exact" pruner goes silently
+// wrong. The allowlisted idioms are comparison against an exact
+// constant-zero (a well-defined guard: norms, divisors, and sentinel
+// checks) and comparisons where both sides are compile-time constants.
+//
+// _test.go files are exempt: the exactness suite deliberately asserts
+// bitwise-identical scores against the naive baseline (Theorem 1 is an
+// equality, not an approximation), so exact comparison is the correct
+// tool there.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floating-point expressions (exact-zero compares allowed; tests exempt)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.TypeOf(node.X)) && !isFloat(pass.TypeOf(node.Y)) {
+					return true
+				}
+				if floatCmpAllowed(pass, node.X, node.Y) {
+					return true
+				}
+				pass.Reportf(node.OpPos,
+					"floating-point %s comparison; use an epsilon helper or compare against exact zero", node.Op)
+			case *ast.SwitchStmt:
+				if node.Tag != nil && isFloat(pass.TypeOf(node.Tag)) {
+					pass.Reportf(node.Tag.Pos(),
+						"switch on a floating-point value compares cases with ==; use if/else with epsilon bounds")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// floatCmpAllowed reports whether the comparison x <op> y is an
+// allowlisted exact comparison.
+func floatCmpAllowed(pass *Pass, x, y ast.Expr) bool {
+	xv, yv := constValue(pass, x), constValue(pass, y)
+	if xv != nil && yv != nil {
+		return true // both compile-time constants: exact by definition
+	}
+	return isZeroConst(xv) || isZeroConst(yv)
+}
+
+func constValue(pass *Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat,
+		types.Complex64, types.Complex128, types.UntypedComplex:
+		return true
+	}
+	return false
+}

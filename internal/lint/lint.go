@@ -1,0 +1,222 @@
+// Package lint is fexlint's engine: a stdlib-only static-analysis
+// framework (go/ast + go/parser + go/types, no external dependencies)
+// with a suite of project-specific analyzers that mechanically enforce
+// FEXIPRO's exactness and telemetry invariants:
+//
+//   - floatcmp:      no ==/!= between floating-point expressions outside
+//     the allowlisted exact-zero idiom (Theorems 1–4 demand conservative
+//     bounds, and float equality is the classic way "exact" goes wrong);
+//   - stagecounters: every threshold-guarded pruning exit increments a
+//     StageCounters field, TotalPruned sums every stage, StageCounters
+//     literals are complete, and Metric* constants obey the Prometheus
+//     naming grammar shared with internal/obs;
+//   - rngseed:       no math/rand global-source calls, and no
+//     non-deterministic seeds in tests/benchmarks (EXPERIMENTS.md
+//     reproducibility);
+//   - errcheck:      no silently discarded error results outside the
+//     explicit `_ =` and `defer Close` idioms;
+//   - mutcopy:       no by-value copies of types holding sync primitives
+//     or atomic fields, and no mixed atomic/plain access to a field.
+//
+// Diagnostics can be suppressed per line with
+//
+//	//lint:ignore <analyzer> reason
+//
+// placed on the flagged line or on the line immediately above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in -analyzers and //lint:ignore.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the pass and reports diagnostics via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass is one (analyzer, package) execution. It carries the syntax,
+// type information, and reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path of the unit being analyzed.
+	PkgPath string
+
+	unit *Unit
+	out  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an ignore directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.unit.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil when unknown.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers []string // empty or "*" entry means all analyzers
+}
+
+// parseIgnores extracts //lint:ignore directives from a file.
+func parseIgnores(fset *token.FileSet, file *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:ignore") {
+				continue
+			}
+			fields := strings.Fields(text)
+			d := ignoreDirective{line: fset.Position(c.Pos()).Line}
+			if len(fields) >= 2 {
+				d.analyzers = strings.Split(fields[1], ",")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether an ignore directive in the unit covers the
+// given analyzer at the given position (same line, or the directive is
+// on the line immediately above).
+func (u *Unit) suppressed(analyzer string, pos token.Position) bool {
+	for _, d := range u.ignores[pos.Filename] {
+		if d.line != pos.Line && d.line != pos.Line-1 {
+			continue
+		}
+		if len(d.analyzers) == 0 {
+			return true
+		}
+		for _, a := range d.analyzers {
+			if a == analyzer || a == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every unit and returns the combined,
+// position-sorted diagnostics.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, u := range units {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				PkgPath:  u.Path,
+				unit:     u,
+				out:      &out,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All returns every registered analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		StageCounters,
+		RNGSeed,
+		ErrCheck,
+		MutCopy,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" selects all).
+func ByName(csv string) ([]*Analyzer, error) {
+	if strings.TrimSpace(csv) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one analyzable, type-checked set of files: a package together
+// with its in-package test files, or an external _test package.
+type Unit struct {
+	// Dir is the directory holding the unit's files.
+	Dir string
+	// Path is the unit's import path (external test units get the
+	// conventional "_test" suffix).
+	Path string
+	// Fset, Files, Pkg, Info carry syntax and type information.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checker diagnostics (empty on a healthy
+	// tree; the driver treats them as load failures).
+	TypeErrors []error
+
+	ignores map[string][]ignoreDirective
+}
+
+// Loader parses and type-checks packages beneath a Go module without
+// invoking `go list`: intra-module imports resolve by path arithmetic
+// against the module root, everything else (the standard library) loads
+// through the compiler-independent source importer.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests controls whether _test.go files join the units.
+	IncludeTests bool
+
+	moduleRoot string
+	modulePath string
+	buildCtx   build.Context
+	std        types.Importer
+	cache      map[string]*types.Package // import-variant cache (no test files)
+	loading    map[string]bool           // import-cycle guard
+}
+
+// NewLoader locates the enclosing module of dir (via go.mod) and returns
+// a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctx := build.Default
+	return &Loader{
+		Fset:         fset,
+		IncludeTests: true,
+		moduleRoot:   root,
+		modulePath:   modPath,
+		buildCtx:     ctx,
+		std:          importer.ForCompiler(fset, "source", nil),
+		cache:        make(map[string]*types.Package),
+		loading:      make(map[string]bool),
+	}, nil
+}
+
+// ModuleRoot returns the absolute module root directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// findModule walks upward from dir until it finds a go.mod and returns
+// the directory and declared module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load expands the patterns ("./...", "dir/...", plain directories) into
+// package directories and returns one Unit per package variant found.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// expand resolves CLI patterns to a sorted, deduplicated directory list.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.moduleRoot, base)
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFiles are the build-constraint-matched files of one directory,
+// split the way `go test` splits them.
+type dirFiles struct {
+	pkgName  string // package name of the non-test (or in-package test) files
+	normal   []string
+	inTest   []string // _test.go files in the package itself
+	extTest  []string // _test.go files in package <name>_test
+	extName  string
+	fileErrs []error
+}
+
+// scanDir classifies the .go files of dir, honoring build constraints
+// for the loader's build context.
+func (l *Loader) scanDir(dir string) (*dirFiles, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	df := &dirFiles{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := l.buildCtx.MatchFile(dir, name)
+		if err != nil || !match {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		pkgName, err := packageName(full)
+		if err != nil {
+			df.fileErrs = append(df.fileErrs, err)
+			continue
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			df.normal = append(df.normal, full)
+			df.pkgName = pkgName
+		case strings.HasSuffix(pkgName, "_test"):
+			df.extTest = append(df.extTest, full)
+			df.extName = pkgName
+		default:
+			df.inTest = append(df.inTest, full)
+			if df.pkgName == "" {
+				df.pkgName = pkgName
+			}
+		}
+	}
+	return df, nil
+}
+
+// packageName reads just the package clause of a file.
+func packageName(path string) (string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return "", err
+	}
+	return f.Name.Name, nil
+}
+
+// importPathFor maps a module-relative directory to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir type-checks the package in dir and returns its analysis
+// units: the package (with in-package test files when IncludeTests),
+// plus the external test package when one exists.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	df, err := l.scanDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	var units []*Unit
+
+	base := df.normal
+	if l.IncludeTests {
+		base = append(append([]string{}, df.normal...), df.inTest...)
+	}
+	var basePkg *types.Package
+	if len(base) > 0 {
+		u, err := l.check(abs, path, df.pkgName, base, l)
+		if err != nil {
+			return nil, err
+		}
+		u.TypeErrors = append(u.TypeErrors, df.fileErrs...)
+		units = append(units, u)
+		basePkg = u.Pkg
+	}
+
+	if l.IncludeTests && len(df.extTest) > 0 {
+		imp := &testImporter{Loader: l, basePath: path, base: basePkg}
+		u, err := l.check(abs, path+"_test", df.extName, df.extTest, imp)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// check parses files and runs the type checker with the given importer.
+func (l *Loader) check(dir, path, pkgName string, files []string, imp types.Importer) (*Unit, error) {
+	var asts []*ast.File
+	var typeErrs []error
+	for _, f := range files {
+		a, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, a)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, asts, info) // errors collected via conf.Error
+	_ = pkgName
+	u := &Unit{
+		Dir:        dir,
+		Path:       path,
+		Fset:       l.Fset,
+		Files:      asts,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+		ignores:    make(map[string][]ignoreDirective),
+	}
+	for _, f := range asts {
+		name := l.Fset.Position(f.Pos()).Filename
+		u.ignores[name] = parseIgnores(l.Fset, f)
+	}
+	return u, nil
+}
+
+// Import implements types.Importer for intra-module and stdlib paths.
+// Module-internal packages are built from their non-test files, so
+// imports never observe test-only declarations.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "C" {
+		return nil, fmt.Errorf("lint: cgo is not supported")
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/") {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+	df, err := l.scanDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: import %q: %w", path, err)
+	}
+	if len(df.normal) == 0 {
+		return nil, fmt.Errorf("lint: import %q: no Go files in %s", path, dir)
+	}
+	u, err := l.check(dir, path, df.pkgName, df.normal, l)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.TypeErrors) > 0 {
+		return nil, fmt.Errorf("lint: import %q: %v", path, u.TypeErrors[0])
+	}
+	l.cache[path] = u.Pkg
+	return u.Pkg, nil
+}
+
+// testImporter resolves the package under test to its test-augmented
+// variant, mirroring how `go test` compiles external test packages
+// against the in-package test build (export_test.go et al.).
+type testImporter struct {
+	*Loader
+	basePath string
+	base     *types.Package
+}
+
+func (t *testImporter) Import(path string) (*types.Package, error) {
+	if path == t.basePath && t.base != nil {
+		return t.base, nil
+	}
+	return t.Loader.Import(path)
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutCopy guards the lock-free hot-path counters of internal/obs:
+//
+//  1. mutcopy proper — by-value copies of types that (transitively)
+//     hold sync primitives or sync/atomic values: value receivers,
+//     non-pointer parameters and results, copying assignments, and
+//     by-value range variables. A copied mutex silently stops
+//     excluding; a copied atomic counter silently forks its value.
+//  2. atomicmix — a field whose address is passed to a sync/atomic
+//     function must never also be read or written with plain (non-
+//     atomic) accesses in the same package; mixed access is a data race
+//     the race detector only finds when both sides execute.
+var MutCopy = &Analyzer{
+	Name: "mutcopy",
+	Doc:  "flags by-value copies of sync/atomic-bearing types and mixed atomic/plain field access",
+	Run:  runMutCopy,
+}
+
+func runMutCopy(pass *Pass) {
+	memo := make(map[types.Type]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSignature(pass, node, memo)
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i < len(node.Lhs) {
+						if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkCopyExpr(pass, rhs, memo)
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					checkCopyExpr(pass, v, memo)
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					if t := pass.TypeOf(node.Value); holdsSync(t, memo) {
+						pass.Reportf(node.Value.Pos(),
+							"range copies %s by value; it holds sync/atomic state — range over indices or pointers", typeString(t))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range node.Args {
+					checkCopyExpr(pass, arg, memo)
+				}
+			}
+			return true
+		})
+	}
+	runAtomicMix(pass)
+}
+
+// checkFuncSignature flags by-value receivers, params, and results of
+// sync-bearing types.
+func checkFuncSignature(pass *Pass, fd *ast.FuncDecl, memo map[types.Type]bool) {
+	report := func(field *ast.Field, what string) {
+		t := pass.TypeOf(field.Type)
+		if holdsSync(t, memo) {
+			pass.Reportf(field.Type.Pos(),
+				"%s passes %s by value; it holds sync/atomic state — use a pointer", what, typeString(t))
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			report(f, "method receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			report(f, "parameter")
+		}
+	}
+	// Results are deliberately not checked: returning a freshly
+	// constructed value (a constructor) is safe; go vet's copylocks
+	// covers the hazardous return-of-existing-value cases.
+}
+
+// checkCopyExpr flags expressions that copy an existing sync-bearing
+// value (reads of variables, fields, dereferences, or elements —
+// freshly constructed values are fine).
+func checkCopyExpr(pass *Pass, e ast.Expr, memo map[types.Type]bool) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		// Only variable reads copy; type names, package names, nil don't.
+		if _, isVar := pass.Info.ObjectOf(id).(*types.Var); !isVar {
+			return
+		}
+	}
+	t := pass.TypeOf(e)
+	if holdsSync(t, memo) {
+		pass.Reportf(e.Pos(),
+			"expression copies %s by value; it holds sync/atomic state — use a pointer", typeString(t))
+	}
+}
+
+func typeString(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// holdsSync reports whether t transitively contains a sync primitive or
+// a sync/atomic value type (pointers, slices, and maps break the
+// chain: they share, not copy).
+func holdsSync(t types.Type, memo map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	memo[t] = false // break recursive types
+	result := false
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					result = true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+					result = true
+				}
+			}
+		}
+		if !result {
+			result = holdsSync(tt.Underlying(), memo)
+		}
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if holdsSync(tt.Field(i).Type(), memo) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = holdsSync(tt.Elem(), memo)
+	}
+	memo[t] = result
+	return result
+}
+
+// --- atomicmix -------------------------------------------------------
+
+// atomicFuncs are the sync/atomic package-level functions that take an
+// address as their first argument.
+func isAtomicAddrFunc(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// runAtomicMix finds struct fields used with sync/atomic address-based
+// functions and flags any plain access to the same field in the unit.
+func runAtomicMix(pass *Pass) {
+	atomicFields := make(map[types.Object]bool)
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+	fieldOf := func(e ast.Expr) (*ast.SelectorExpr, types.Object) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil, nil
+		}
+		return sel, s.Obj()
+	}
+
+	// Pass 1: collect fields whose address feeds sync/atomic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicAddrFunc(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			if sel, obj := fieldOf(unary.X); obj != nil {
+				atomicFields[obj] = true
+				atomicUses[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain accesses to those fields.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			_, obj := fieldOf(sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is updated with sync/atomic elsewhere in this package; plain access races with it — use the atomic API everywhere",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RNGSeed protects benchmark and test reproducibility (EXPERIMENTS.md):
+// every randomized experiment must run from an explicitly seeded,
+// locally owned *rand.Rand. It flags
+//
+//  1. calls to math/rand (and math/rand/v2) package-level functions that
+//     draw from the shared global source — anywhere, since the global
+//     source is both non-reproducible and a contention point on the
+//     serving hot path; and
+//  2. rand.NewSource / NewPCG / NewChaCha8 seeded with a non-constant
+//     expression inside _test.go files, where a time-derived seed makes
+//     failures unreproducible.
+var RNGSeed = &Analyzer{
+	Name: "rngseed",
+	Doc:  "flags math/rand global-source use and non-deterministic seeds in tests",
+	Run:  runRNGSeed,
+}
+
+// randConstructors are the math/rand functions that do NOT touch the
+// global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// randSeedFuncs take a seed whose determinism we check in tests.
+var randSeedFuncs = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runRNGSeed(pass *Pass) {
+	for _, file := range pass.Files {
+		inTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the shared global source; use a locally seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+					pkgIdent.Name, name)
+				return true
+			}
+			if inTest && randSeedFuncs[name] && len(call.Args) > 0 {
+				allConst := true
+				for _, arg := range call.Args {
+					if tv, ok := pass.Info.Types[arg]; !ok || tv.Value == nil {
+						allConst = false
+					}
+				}
+				if !allConst {
+					pass.Reportf(call.Pos(),
+						"%s.%s seeded with a non-constant expression in a test; use a fixed seed so failures reproduce",
+						pkgIdent.Name, name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,35 @@
+// Package errcheck is a fexlint golden fixture for the errcheck
+// analyzer.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func write(f *os.File) error {
+	_, err := f.Write([]byte("x"))
+	return err
+}
+
+func bad(path string) {
+	os.Remove(path) // want `call discards its error result`
+	f, _ := os.Open(path)
+	f.Close()       // want `call discards its error result`
+	defer write(f)  // want `deferred call discards its error result`
+	go write(f)     // want `go statement discards its error result`
+	defer f.Close() // defer Close idiom: allowed
+	defer f.Sync()  // defer Sync idiom: allowed
+}
+
+func good(path string) error {
+	_ = os.Remove(path) // explicit discard: allowed
+	var b strings.Builder
+	b.WriteString("hello")  // in-memory writer: allowed
+	fmt.Println(b.String()) // fmt family: allowed
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

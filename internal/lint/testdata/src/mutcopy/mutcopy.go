@@ -1,0 +1,59 @@
+// Package mutcopy is a fexlint golden fixture for the mutcopy/atomicmix
+// analyzer.
+package mutcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters transitively holds both a lock and an atomic value.
+type counters struct {
+	mu   sync.Mutex
+	hits atomic.Int64
+}
+
+type wrapper struct{ inner counters }
+
+func byValue(c counters) {} // want `parameter passes counters by value`
+
+func nested(w wrapper) {} // want `parameter passes wrapper by value`
+
+func (c counters) read() int64 { // want `method receiver passes counters by value`
+	return c.hits.Load()
+}
+
+func copies() {
+	var a counters
+	b := a // want `expression copies counters by value`
+	_ = b
+	p := &a
+	d := *p // want `expression copies counters by value`
+	_ = d
+	arr := make([]counters, 3)
+	for _, c := range arr { // want `range copies counters by value`
+		_ = c
+	}
+}
+
+func fine() {
+	var a counters
+	p := &a // taking the address: allowed
+	use(p)
+	arr := make([]counters, 3)
+	for i := range arr { // index-only range: allowed
+		use(&arr[i])
+	}
+}
+
+func use(*counters) {}
+
+// mixed exercises the atomicmix half: n is updated atomically in inc,
+// so every other access must also go through sync/atomic.
+type mixed struct{ n int64 }
+
+func (m *mixed) inc() { atomic.AddInt64(&m.n, 1) }
+
+func (m *mixed) racyRead() int64 { return m.n } // want `plain access races`
+
+func (m *mixed) racyWrite() { m.n = 0 } // want `plain access races`

@@ -1,0 +1,19 @@
+// Package rngseed is a fexlint golden fixture for the rngseed analyzer.
+package rngseed
+
+import "math/rand"
+
+func globalDraw() int {
+	return rand.Intn(10) // want `draws from the shared global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `draws from the shared global source`
+}
+
+// seeded constructs a local generator; a variable seed is fine outside
+// tests (e.g. config-driven experiment seeds).
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,17 @@
+package rngseed
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42)) // fixed seed: allowed
+	_ = rng.Float64()
+
+	bad := rand.New(rand.NewSource(time.Now().UnixNano())) // want `non-constant expression in a test`
+	_ = bad.Float64()
+
+	_ = rand.Float64() // want `draws from the shared global source`
+}

@@ -1,0 +1,9 @@
+// Package nototal is a fexlint golden fixture: a Stats schema that
+// declares stage counters but no collapse method.
+package nototal
+
+type Stats struct { // want `Stats declares 2 PrunedBy\* counters but no TotalPruned`
+	Scanned             int
+	PrunedByLength      int
+	PrunedByIncremental int
+}

@@ -195,7 +195,7 @@ func (r *Registry) getFamily(name, help string, kind metricKind, buckets []float
 		}
 		return f
 	}
-	if !validMetricName(name) {
+	if !ValidMetricName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
 	f = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]any)}
@@ -284,7 +284,12 @@ func seriesKey(ls []Label) string {
 	return b.String()
 }
 
-func validMetricName(name string) bool {
+// ValidMetricName reports whether name satisfies the Prometheus metric
+// naming grammar [a-zA-Z_:][a-zA-Z0-9_:]*. It is the single source of
+// truth for metric-name validity: the registry enforces it at runtime
+// and fexlint's stagecounters analyzer enforces it at build time on
+// every Metric* constant, so the two checks cannot diverge.
+func ValidMetricName(name string) bool {
 	if name == "" {
 		return false
 	}

@@ -64,6 +64,36 @@ func TestInvalidMetricNamePanics(t *testing.T) {
 	r.Counter("9bad-name", "")
 }
 
+// TestValidMetricNameEdgeCases exercises the Prometheus metric-name
+// grammar boundary cases. ValidMetricName is shared between the runtime
+// registry and fexlint's stagecounters analyzer, so these cases pin the
+// grammar for both enforcement points.
+func TestValidMetricNameEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		valid bool
+	}{
+		{"", false},                      // empty
+		{"9leading", false},              // digit may not lead
+		{"_leading_underscore", true},    // underscore may lead
+		{":leading_colon", true},         // colon may lead (recording rules)
+		{"fexipro:recorded:total", true}, // interior colons
+		{"fexipro_queries_total", true},  // canonical form
+		{"a9", true},                     // digit after first char
+		{"fexipro-dash", false},          // dash is outside the grammar
+		{"h\u00e9llo", false},            // non-ASCII rune anywhere
+		{"caf\u00e9_total", false},       // non-ASCII rune mid-name
+		{"has space", false},             // whitespace
+		{"tab\tname", false},             // control character
+		{"\u00e9", false},                // single multi-byte rune at position 0
+	}
+	for _, tc := range cases {
+		if got := ValidMetricName(tc.name); got != tc.valid {
+			t.Errorf("ValidMetricName(%q) = %v, want %v", tc.name, got, tc.valid)
+		}
+	}
+}
+
 func TestHistogramBucketing(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("h_seconds", "", []float64{1, 2, 5})

@@ -1,8 +1,6 @@
 package scan
 
 import (
-	"sort"
-
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -20,11 +18,6 @@ func (n *Naive) SearchAbove(q []float64, t float64) []topk.Result {
 	}
 	n.stats.Scanned = n.items.Rows
 	n.stats.FullProducts = n.items.Rows
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].ID < out[b].ID
-	})
+	topk.SortResults(out)
 	return out
 }

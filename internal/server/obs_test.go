@@ -105,7 +105,7 @@ func TestMetricsAdvance(t *testing.T) {
 
 	search := func() {
 		resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("search status %d", resp.StatusCode)
 		}
@@ -144,7 +144,7 @@ func TestMetricsAdvance(t *testing.T) {
 	// /v1/items advances the mutation counter and the items gauge.
 	before := metricValue(t, scrape(t, ts.URL), "fexserve_index_items")
 	resp := postJSON(t, ts.URL+"/v1/items", map[string]any{"vector": q})
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("add status %d", resp.StatusCode)
 	}
@@ -183,7 +183,7 @@ func TestTraceIDHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp2.Body.Close()
+	_ = resp2.Body.Close()
 	if got := resp2.Header.Get(obs.TraceHeader); got != "caller-supplied-id-42" {
 		t.Fatalf("propagated trace id %q", got)
 	}
@@ -195,7 +195,7 @@ func TestTraceIDHeader(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp3.Body.Close()
+	_ = resp3.Body.Close()
 	if got := resp3.Header.Get(obs.TraceHeader); strings.Contains(got, " ") || got == "" {
 		t.Fatalf("invalid trace id reflected: %q", got)
 	}
@@ -207,7 +207,7 @@ func TestStructuredRequestLog(t *testing.T) {
 	ts := newObsServer(t, 100, 4, server.Config{Logger: logger})
 
 	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 2, 3, 4}, "k": 3})
-	resp.Body.Close()
+	_ = resp.Body.Close()
 
 	line := strings.TrimSpace(buf.String())
 	var entry map[string]any
@@ -265,7 +265,7 @@ func TestPprofMounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		return resp.StatusCode
 	}
 	if code := get(newObsServer(t, 20, 4, server.Config{})); code != http.StatusNotFound {

@@ -102,7 +102,7 @@ func TestSearchValidation(t *testing.T) {
 	}
 	for i, c := range cases {
 		resp := postJSON(t, ts.URL+"/v1/search", c.body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Fatalf("case %d: status %d, want %d", i, resp.StatusCode, c.want)
 		}
@@ -113,7 +113,7 @@ func TestSearchValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("huge values: status %d", resp.StatusCode)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 }
 
 func TestAboveEndpoint(t *testing.T) {
@@ -132,7 +132,7 @@ func TestAboveEndpoint(t *testing.T) {
 	}
 	// Missing threshold rejected.
 	resp = postJSON(t, ts.URL+"/v1/above", map[string]any{"vector": q})
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing threshold: status %d", resp.StatusCode)
 	}
@@ -164,7 +164,7 @@ func TestItemLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dresp.Body.Close()
+	_ = dresp.Body.Close()
 	if dresp.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete status %d", dresp.StatusCode)
 	}
@@ -178,7 +178,7 @@ func TestItemLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dresp2.Body.Close()
+	_ = dresp2.Body.Close()
 	if dresp2.StatusCode != http.StatusNotFound {
 		t.Fatalf("double delete status %d", dresp2.StatusCode)
 	}
@@ -189,7 +189,7 @@ func TestItemLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bresp.Body.Close()
+	_ = bresp.Body.Close()
 	if bresp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad id status %d", bresp.StatusCode)
 	}
@@ -209,7 +209,7 @@ func TestInfoAndHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hresp.Body.Close()
+	_ = hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", hresp.StatusCode)
 	}
@@ -225,10 +225,10 @@ func TestConcurrentRequests(t *testing.T) {
 				resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 3})
 				if resp.StatusCode != http.StatusOK {
 					done <- fmt.Errorf("status %d", resp.StatusCode)
-					resp.Body.Close()
+					_ = resp.Body.Close()
 					return
 				}
-				resp.Body.Close()
+				_ = resp.Body.Close()
 			}
 			done <- nil
 		}(g)

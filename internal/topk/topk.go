@@ -80,13 +80,22 @@ func (c *Collector) Push(id int, score float64) bool {
 func (c *Collector) Results() []Result {
 	out := make([]Result, len(c.items))
 	copy(out, c.items)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
+	SortResults(out)
 	return out
+}
+
+// SortResults orders results by descending score with ties broken by
+// ascending ID — the one canonical result ordering shared by every
+// retrieval method, so exactness tests can compare outputs verbatim.
+// The exact (non-epsilon) score comparison is deliberate: it defines a
+// total order for deterministic tie-breaking, not a tolerance test.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score { //lint:ignore floatcmp exact compare defines the deterministic total order
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].ID < rs[j].ID
+	})
 }
 
 // Reset empties the collector, keeping its capacity.
