@@ -1,9 +1,21 @@
 # Developer and CI entry points. `make verify` is the tier-1 gate;
-# `make check` adds vet, lint, formatting, and the race detector on top.
+# `make check` adds vet, lint, formatting, and the race detector (on the
+# concurrency-sensitive subset) on top. CI splits verify / race /
+# fuzz-smoke into parallel jobs (.github/workflows/ci.yml).
 
 GO ?= go
 
-.PHONY: all verify build test check vet lint fmt-check precommit race bench
+# Packages exercising concurrency-sensitive code under the race
+# detector: the server guard stack and e2e chaos test, the metrics
+# registry, the fault-injection hooks, and the cancellation paths of the
+# core retriever and the scan baselines. `make race` runs everything.
+RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/...
+
+# Per-target budget for the fuzz smoke (`go test -fuzz` accepts exactly
+# one target per invocation).
+FUZZTIME ?= 10s
+
+.PHONY: all verify build test check vet lint fmt-check precommit race race-subset fuzz-smoke bench
 
 all: check
 
@@ -16,8 +28,10 @@ build:
 test:
 	$(GO) test ./...
 
-## check: verify + static analysis + formatting + race detector.
-check: verify vet lint fmt-check race
+## check: verify + static analysis + formatting + race detector on the
+## concurrency-sensitive subset (fast enough for a local loop; CI also
+## runs the full `make race`).
+check: verify vet lint fmt-check race-subset
 
 vet:
 	$(GO) vet ./...
@@ -39,10 +53,21 @@ fmt-check:
 ## failing at the first broken step. Run this before every commit.
 precommit: fmt-check vet lint
 
-## race: full test suite under the race detector (observability layer
-## has dedicated concurrent-writer tests).
+## race: full test suite under the race detector.
 race:
 	$(GO) test -race ./...
+
+## race-subset: the race detector on the packages where it earns its
+## keep (see RACE_PKGS above); what `make check` runs locally.
+race-subset:
+	$(GO) test -race $(RACE_PKGS)
+
+## fuzz-smoke: run each fuzz target for FUZZTIME on top of the committed
+## regression corpus (internal/data/testdata/fuzz). New crashers found
+## here should be committed as corpus seeds.
+fuzz-smoke:
+	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixBinary -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixCSV -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -10,7 +10,9 @@
 package fexipro_test
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
@@ -23,6 +25,8 @@ import (
 	"fexipro/internal/pcatree"
 	"fexipro/internal/scan"
 	"fexipro/internal/svd"
+	"fexipro/internal/topk"
+	"fexipro/internal/vec"
 )
 
 const benchQueries = 30
@@ -338,6 +342,62 @@ func BenchmarkFig20(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkSearchContextOverhead measures the cost of the cooperative
+// cancellation machinery on the UNCANCELLED hot path, in the worst case
+// for relative overhead: d = 1, where per-item work is a single multiply
+// and the poll branches are maximally visible.
+//
+//	nopoll      — hand-rolled scan loop with no cancellation support,
+//	              the pre-context baseline
+//	background  — Naive.SearchContext(context.Background()): ctx.Done()
+//	              is nil, so the poll branch is two nil-checks per item
+//	armed       — a cancellable context: a select on ctx.Done() every
+//	              search.CheckStride items
+//
+// The acceptance bar (DESIGN.md, Robustness) is background within 1% of
+// nopoll; armed adds one channel select per 1024 items on top.
+func BenchmarkSearchContextOverhead(b *testing.B) {
+	const n, d = 100_000, 1
+	rng := rand.New(rand.NewSource(99))
+	items := vec.NewMatrix(n, d)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	q := []float64{rng.NormFloat64()}
+	const k = 10
+
+	b.Run("nopoll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := topk.New(k)
+			for id := 0; id < items.Rows; id++ {
+				c.Push(id, vec.Dot(q, items.Row(id)))
+			}
+			c.Results()
+		}
+	})
+	b.Run("background", func(b *testing.B) {
+		s := scan.NewNaive(items)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SearchContext(ctx, q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("armed", func(b *testing.B) {
+		s := scan.NewNaive(items)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SearchContext(ctx, q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPreprocess times Algorithm 3 itself (the bracketed column of

@@ -13,16 +13,25 @@
 //	POST   /v1/items    {"vector": [...]}            → 201 {"id": n}
 //	DELETE /v1/items/{id}
 //	GET    /v1/info     → {"items": n, "dim": d}
-//	GET    /v1/healthz
+//	GET    /healthz     liveness (also at /v1/healthz)
+//	GET    /readyz      readiness: 200 once the index is built, 503
+//	                    while draining for shutdown
 //	GET    /metrics     Prometheus text format (per-stage pruning
 //	                    counters, latency histograms, build/mutation
-//	                    metrics)
+//	                    and guard metrics)
 //	GET    /debug/pprof/  (only with -pprof)
+//
+// Serving guards: -timeout sets the default per-request deadline
+// (clients override with the X-Timeout-Ms header, clamped to
+// -max-timeout); an expired deadline answers 504 {"code":"deadline"},
+// or — with -partial — 200 with the best-so-far results and
+// "exact": false. -max-concurrent sheds excess load with 429 and
+// Retry-After. Panics are recovered into 500s carrying the trace ID.
 //
 // Every request is logged as one structured line (text or JSON via
 // -log-format) with a trace ID, latency, and search stage counters.
-// SIGINT/SIGTERM drain in-flight requests and log a final cumulative
-// metrics snapshot before exit.
+// SIGINT/SIGTERM flip /readyz to 503, drain in-flight requests, and log
+// a final cumulative metrics snapshot before exit.
 package main
 
 import (
@@ -56,6 +65,11 @@ func main() {
 		variant     = flag.String("variant", "F-SIR", "FEXIPRO variant")
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		timeout       = flag.Duration("timeout", 5*time.Second, "default per-request deadline for /v1/ routes (0 disables)")
+		maxTimeout    = flag.Duration("max-timeout", 30*time.Second, "cap on the effective per-request deadline, including X-Timeout-Ms overrides (0 = uncapped)")
+		maxConcurrent = flag.Int("max-concurrent", 64, "in-flight /v1/ request limit; excess is shed with 429 (0 disables)")
+		partial       = flag.Bool("partial", false, "answer deadline expiry with 200 + best-so-far results flagged exact:false instead of 504")
 	)
 	flag.Parse()
 
@@ -87,9 +101,13 @@ func main() {
 	reg := obs.NewRegistry()
 	buildStart := time.Now()
 	srv, err := server.NewWithConfig(items, opts, server.Config{
-		Metrics:     reg,
-		Logger:      logger,
-		EnablePprof: *enablePprof,
+		Metrics:           reg,
+		Logger:            logger,
+		EnablePprof:       *enablePprof,
+		RequestTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxConcurrent:     *maxConcurrent,
+		PartialOnDeadline: *partial,
 	})
 	if err != nil {
 		fatal(logger, "index build", err)
@@ -104,7 +122,9 @@ func main() {
 	logger.Info("startup",
 		"items", items.Rows, "dim", items.Cols, "variant", opts.Variant(),
 		"buildMillis", buildDur.Milliseconds(), "addr", *addr,
-		"pprof", *enablePprof)
+		"pprof", *enablePprof,
+		"timeout", timeout.String(), "maxTimeout", maxTimeout.String(),
+		"maxConcurrent", *maxConcurrent, "partialOnDeadline", *partial)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -119,6 +139,7 @@ func main() {
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		got := <-sig
 		logger.Info("shutdown", "signal", got.String(), "drainTimeout", shutdownTimeout.String())
+		srv.SetReady(false) // /readyz → 503 so load balancers stop routing here
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,6 +1,7 @@
 package fexipro
 
 import (
+	"context"
 	"os"
 
 	"fexipro/internal/aip"
@@ -45,6 +46,14 @@ func LoadIndex(path string) (*FEXIPRO, error) {
 // inherently knife-edge.
 func (f *FEXIPRO) SearchAbove(q []float64, t float64) []Result {
 	return convertResults(f.r.SearchAbove(q, t))
+}
+
+// SearchAboveContext behaves like SearchAbove but honours ctx: on
+// cancellation it returns the (sorted) items found so far with an
+// ErrDeadline-wrapping error; the set may be missing qualifying items.
+func (f *FEXIPRO) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]Result, error) {
+	res, err := f.r.SearchAboveContext(ctx, q, t)
+	return convertResults(res), err
 }
 
 // SearchAbove returns every item with qᵀp ≥ t using LEMP's bucketized
@@ -108,10 +117,25 @@ func (d *Dynamic) Search(q []float64, k int) []Result {
 	return convertResults(d.di.Search(q, k))
 }
 
+// SearchContext implements Searcher: on cancellation it returns the
+// best-so-far partial top-k and an ErrDeadline-wrapping error.
+func (d *Dynamic) SearchContext(ctx context.Context, q []float64, k int) ([]Result, error) {
+	res, err := d.di.SearchContext(ctx, q, k)
+	return convertResults(res), err
+}
+
 // SearchAbove returns every live item with qᵀp ≥ t, sorted by
 // descending score.
 func (d *Dynamic) SearchAbove(q []float64, t float64) []Result {
 	return convertResults(d.di.SearchAbove(q, t))
+}
+
+// SearchAboveContext behaves like SearchAbove but honours ctx,
+// returning the sorted partial result set with an ErrDeadline-wrapping
+// error on cancellation.
+func (d *Dynamic) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]Result, error) {
+	res, err := d.di.SearchAboveContext(ctx, q, t)
+	return convertResults(res), err
 }
 
 // LastStats implements Searcher.

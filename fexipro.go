@@ -32,10 +32,21 @@
 package fexipro
 
 import (
+	"context"
+
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
 )
+
+// ErrDeadline is returned by SearchContext when a query is cancelled —
+// deadline expiry or explicit cancel — before the scan completed.
+// Results returned alongside it are the best-so-far partial top-k:
+// every score is a true inner product, but items the scan had not
+// reached may be missing, so the set must be treated as inexact. Only a
+// (results, nil) return is guaranteed to be the exact top-k. Match with
+// errors.Is.
+var ErrDeadline = search.ErrDeadline
 
 // Matrix is a dense row-major matrix of factor vectors: row i is the
 // d-dimensional vector of item (or user) i.
@@ -126,6 +137,12 @@ type Searcher interface {
 	// Search returns the top-k inner products of q against the indexed
 	// items, sorted by descending score.
 	Search(q []float64, k int) []Result
+	// SearchContext behaves like Search but honours ctx: on deadline
+	// expiry or cancellation it promptly returns the best-so-far partial
+	// results together with an error satisfying
+	// errors.Is(err, ErrDeadline). A nil error flags the results as
+	// exact.
+	SearchContext(ctx context.Context, q []float64, k int) ([]Result, error)
 	// LastStats reports counters for the most recent Search call.
 	LastStats() Stats
 }
@@ -137,6 +154,11 @@ type wrap struct {
 
 func (w wrap) Search(q []float64, k int) []Result {
 	return convertResults(w.s.Search(q, k))
+}
+
+func (w wrap) SearchContext(ctx context.Context, q []float64, k int) ([]Result, error) {
+	res, err := search.WithContext(w.s).SearchContext(ctx, q, k)
+	return convertResults(res), err
 }
 
 func (w wrap) LastStats() Stats { return convertStats(w.s.Stats()) }

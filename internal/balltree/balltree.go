@@ -14,10 +14,12 @@
 package balltree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -32,8 +34,13 @@ type Tree struct {
 	items    *vec.Matrix
 	root     *node
 	leafSize int
+	hook     *faults.Hook
 	stats    search.Stats
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// called once per visited tree node.
+func (t *Tree) SetFaultHook(h *faults.Hook) { t.hook = h }
 
 type node struct {
 	centroid []float64
@@ -134,6 +141,14 @@ func (t *Tree) farthestFrom(from []float64, ids []int) int {
 
 // Search implements search.Searcher with depth-first branch-and-bound.
 func (t *Tree) Search(q []float64, k int) []topk.Result {
+	res, _ := t.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the descent polls ctx
+// every search.CheckStride visited nodes and returns the best-so-far
+// partial top-k with an ErrDeadline-wrapping error on cancellation.
+func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if len(q) != t.items.Cols {
 		panic(fmt.Sprintf("balltree: query dim %d != item dim %d", len(q), t.items.Cols))
 	}
@@ -141,12 +156,19 @@ func (t *Tree) Search(q []float64, k int) []topk.Result {
 	c := topk.New(k)
 	if t.root != nil && k > 0 {
 		qNorm := vec.Norm(q)
-		t.descend(t.root, q, qNorm, c)
+		if err := t.descend(ctx, t.root, q, qNorm, c); err != nil {
+			return c.Results(), err
+		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
-func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
+func (t *Tree) descend(ctx context.Context, n *node, q []float64, qNorm float64, c *topk.Collector) error {
+	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+			return err
+		}
+	}
 	t.stats.NodesVisited++
 	if n.ids != nil {
 		for _, id := range n.ids {
@@ -154,7 +176,7 @@ func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
 			t.stats.FullProducts++
 			c.Push(id, vec.Dot(q, t.items.Row(id)))
 		}
-		return
+		return nil
 	}
 	lb := t.bound(n.left, q, qNorm)
 	rb := t.bound(n.right, q, qNorm)
@@ -165,15 +187,20 @@ func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
 		fb, sb = rb, lb
 	}
 	if fb > c.Threshold() {
-		t.descend(first, q, qNorm, c)
+		if err := t.descend(ctx, first, q, qNorm, c); err != nil {
+			return err
+		}
 	} else {
 		t.stats.PrunedByLength += countItems(first)
 	}
 	if sb > c.Threshold() {
-		t.descend(second, q, qNorm, c)
+		if err := t.descend(ctx, second, q, qNorm, c); err != nil {
+			return err
+		}
 	} else {
 		t.stats.PrunedByLength += countItems(second)
 	}
+	return nil
 }
 
 func (t *Tree) bound(n *node, q []float64, qNorm float64) float64 {
@@ -211,4 +238,4 @@ func depth(n *node) int {
 	return r + 1
 }
 
-var _ search.Searcher = (*Tree)(nil)
+var _ search.ContextSearcher = (*Tree)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fexipro/internal/search"
@@ -14,6 +15,15 @@ import (
 // sorted scan stops at the first item with ‖q‖·‖p‖ < t, and
 // per-candidate bounds below t discard candidates without full products.
 func (r *Retriever) SearchAbove(q []float64, t float64) []topk.Result {
+	res, _ := r.SearchAboveContext(context.Background(), q, t)
+	return res
+}
+
+// SearchAboveContext behaves like SearchAbove but honours ctx: the scan
+// polls ctx every search.CheckStride items and returns the sorted
+// best-so-far partial result with an ErrDeadline-wrapping error on
+// cancellation.
+func (r *Retriever) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]topk.Result, error) {
 	idx := r.idx
 	if len(q) != idx.d {
 		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
@@ -21,9 +31,17 @@ func (r *Retriever) SearchAbove(q []float64, t float64) []topk.Result {
 	r.stats = search.Stats{}
 	qs := r.prepareQuery(q)
 	slack := idx.opts.PruneSlack
+	done := ctx.Done()
+	hook := r.hook
 
 	var out []topk.Result
 	for i := 0; i < idx.n; i++ {
+		if hook != nil || (done != nil && i&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i); err != nil {
+				topk.SortResults(out)
+				return out, err
+			}
+		}
 		if qs.qNorm*idx.norms[i] < t {
 			if !idx.opts.Unsorted {
 				r.stats.PrunedByLength += idx.n - i
@@ -41,5 +59,5 @@ func (r *Retriever) SearchAbove(q []float64, t float64) []topk.Result {
 		}
 	}
 	topk.SortResults(out)
-	return out
+	return out, nil
 }

@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/faults"
+	"fexipro/internal/search"
+	"fexipro/internal/searchtest"
+	"fexipro/internal/vec"
+)
+
+// TestRetrieverCancellation runs the shared cancellation property suite
+// over every FEXIPRO variant: a scan cut short by an injected fault must
+// never be flagged exact, and an unfired fault must leave results
+// bitwise identical to the uncancelled baseline.
+func TestRetrieverCancellation(t *testing.T) {
+	for _, variant := range allVariants {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+				idx, err := core.NewIndex(items, mustOptions(t, variant))
+				if err != nil {
+					t.Fatalf("NewIndex(%s): %v", variant, err)
+				}
+				return core.NewRetriever(idx)
+			}, "Retriever/"+variant)
+		})
+	}
+}
+
+func mustOptions(t *testing.T, variant string) core.Options {
+	t.Helper()
+	opts, err := core.OptionsForVariant(variant)
+	if err != nil {
+		t.Fatalf("OptionsForVariant(%s): %v", variant, err)
+	}
+	return opts
+}
+
+// TestDynamicCancellation covers the two-tier searcher: cancellation can
+// land in the delta scan or inside the main retriever, and both must
+// surface as ErrDeadline with valid partial results.
+func TestDynamicCancellation(t *testing.T) {
+	searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+		di, err := core.NewDynamicIndex(items, mustOptions(t, "F-SIR"), 0.25)
+		if err != nil {
+			t.Fatalf("NewDynamicIndex: %v", err)
+		}
+		return di
+	}, "Dynamic/F-SIR")
+}
+
+// TestDynamicHookSurvivesRebuild pins the SetFaultHook contract across
+// main-index rebuilds: after enough mutations to trigger a rebuild, a
+// cancellation fault installed before the rebuild still fires inside the
+// rebuilt main retriever.
+func TestDynamicHookSurvivesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	items, q := searchtest.RandomInstance(rng, 200, 8)
+	di, err := core.NewDynamicIndex(items, mustOptions(t, "F-SIR"), 0.1)
+	if err != nil {
+		t.Fatalf("NewDynamicIndex: %v", err)
+	}
+	reg := faults.NewRegistry(31)
+	hook := reg.Enable(faults.SiteScan, faults.Plan{CancelAtItem: 1})
+	di.SetFaultHook(hook)
+
+	// Mutate well past the 10% rebuild fraction so the main retriever is
+	// replaced at least once while the hook is installed.
+	for i := 0; i < 100; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		id, err := di.Add(row)
+		if err != nil {
+			t.Fatalf("Add #%d: %v", i, err)
+		}
+		if i%2 == 0 {
+			if err := di.Delete(id); err != nil {
+				t.Fatalf("Delete %d: %v", id, err)
+			}
+		}
+	}
+
+	before := hook.Counts().Cancels
+	_, err = di.SearchContext(context.Background(), q, 5)
+	if !errors.Is(err, search.ErrDeadline) {
+		t.Fatalf("post-rebuild SearchContext error = %v, want ErrDeadline", err)
+	}
+	if hook.Counts().Cancels <= before {
+		t.Fatal("fault hook did not fire after rebuild: SetFaultHook was lost")
+	}
+}
+
+// TestCancelledAboveNeverExact is the SearchAboveContext analogue of the
+// top-k property: a threshold scan cut short must not return nil error,
+// and its partial results must all be genuine above-threshold hits.
+func TestCancelledAboveNeverExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	items, q := searchtest.RandomInstance(rng, 400, 16)
+	idx, err := core.NewIndex(items, mustOptions(t, "F-SIR"))
+	if err != nil {
+		t.Fatalf("NewIndex: %v", err)
+	}
+	r := core.NewRetriever(idx)
+	const threshold = 0.5
+
+	full, err := r.SearchAboveContext(context.Background(), q, threshold)
+	if err != nil {
+		t.Fatalf("uncancelled SearchAboveContext error: %v", err)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		cancelAt := 1 + rng.Intn(600)
+		reg := faults.NewRegistry(77 + int64(trial))
+		hook := reg.Enable(faults.SiteScan, faults.Plan{CancelAtItem: cancelAt})
+		r.SetFaultHook(hook)
+		res, err := r.SearchAboveContext(context.Background(), q, threshold)
+		r.SetFaultHook(nil)
+
+		if hook.Counts().Cancels > 0 {
+			if !errors.Is(err, search.ErrDeadline) {
+				t.Fatalf("cancel at %d: err = %v, want ErrDeadline", cancelAt, err)
+			}
+			if len(res) > len(full) {
+				t.Fatalf("cancel at %d: partial run returned %d hits, full run only %d",
+					cancelAt, len(res), len(full))
+			}
+		} else if err != nil {
+			t.Fatalf("unfired cancel at %d: err = %v", cancelAt, err)
+		}
+		for i, hit := range res {
+			actual := vec.Dot(q, items.Row(hit.ID))
+			if diff := actual - hit.Score; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("cancel at %d: hit %d score %v, true product %v", cancelAt, hit.ID, hit.Score, actual)
+			}
+			if actual < threshold {
+				t.Fatalf("cancel at %d: hit %d score %v below threshold", cancelAt, hit.ID, actual)
+			}
+			if i > 0 && res[i-1].Score < hit.Score {
+				t.Fatalf("cancel at %d: results unsorted at rank %d", cancelAt, i)
+			}
+		}
+	}
+}

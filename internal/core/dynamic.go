@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -31,6 +33,7 @@ type DynamicIndex struct {
 	mainIDs    []int // catalog IDs covered by main (ascending; positions = index rows)
 	delta      []int // catalog IDs not yet in main
 	deltaItems [][]float64
+	hook       *faults.Hook
 	stats      search.Stats
 }
 
@@ -155,22 +158,48 @@ func (di *DynamicIndex) rebuildMain() error {
 	}
 	di.main = idx
 	di.mainRet = NewRetriever(idx)
+	di.mainRet.SetFaultHook(di.hook)
 	di.mainIDs = live
 	// Tombstones for pre-rebuild IDs are now compacted away, but keep
 	// the dead set for ID-validity checks.
 	return nil
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// called once per scanned item in both the delta buffer and the main
+// index; it survives rebuilds.
+func (di *DynamicIndex) SetFaultHook(h *faults.Hook) {
+	di.hook = h
+	if di.mainRet != nil {
+		di.mainRet.SetFaultHook(h)
+	}
+}
+
 // Search returns the exact top-k over the live catalog; IDs are the
 // stable catalog IDs returned by Add (or initial row indices).
 func (di *DynamicIndex) Search(q []float64, k int) []topk.Result {
+	res, _ := di.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: both tiers poll ctx
+// and a cancellation returns the best-so-far partial top-k with an
+// ErrDeadline-wrapping error.
+func (di *DynamicIndex) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if len(q) != di.d {
 		panic(fmt.Sprintf("core: query dim %d != %d", len(q), di.d))
 	}
 	di.stats = search.Stats{}
 	c := topk.New(k)
+	done := ctx.Done()
+	hook := di.hook
 	// Scan the (small) delta buffer exhaustively first.
 	for pos, id := range di.delta {
+		if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, pos); err != nil {
+				return c.Results(), err
+			}
+		}
 		if di.dead[id] {
 			continue
 		}
@@ -182,7 +211,8 @@ func (di *DynamicIndex) Search(q []float64, k int) []topk.Result {
 		// Over-fetch so tombstoned rows inside main cannot starve the
 		// result set.
 		need := k + di.deadInMain
-		for _, r := range di.mainRet.Search(q, need) {
+		res, err := di.mainRet.SearchContext(ctx, q, need)
+		for _, r := range res {
 			id := di.mainIDs[r.ID]
 			if di.dead[id] {
 				continue
@@ -190,19 +220,38 @@ func (di *DynamicIndex) Search(q []float64, k int) []topk.Result {
 			c.Push(id, r.Score)
 		}
 		di.stats.Add(di.mainRet.Stats())
+		if err != nil {
+			return c.Results(), err
+		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
 // SearchAbove returns every live item with qᵀp ≥ t, sorted by descending
 // score.
 func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
+	res, _ := di.SearchAboveContext(context.Background(), q, t)
+	return res
+}
+
+// SearchAboveContext behaves like SearchAbove but honours ctx in both
+// tiers, returning the sorted partial result set with an
+// ErrDeadline-wrapping error on cancellation.
+func (di *DynamicIndex) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]topk.Result, error) {
 	if len(q) != di.d {
 		panic(fmt.Sprintf("core: query dim %d != %d", len(q), di.d))
 	}
 	di.stats = search.Stats{}
+	done := ctx.Done()
+	hook := di.hook
 	var out []topk.Result
 	for pos, id := range di.delta {
+		if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, pos); err != nil {
+				topk.SortResults(out)
+				return out, err
+			}
+		}
 		if di.dead[id] {
 			continue
 		}
@@ -213,7 +262,8 @@ func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
 		}
 	}
 	if di.mainRet != nil {
-		for _, r := range di.mainRet.SearchAbove(q, t) {
+		res, err := di.mainRet.SearchAboveContext(ctx, q, t)
+		for _, r := range res {
 			id := di.mainIDs[r.ID]
 			if di.dead[id] {
 				continue
@@ -221,12 +271,16 @@ func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
 			out = append(out, topk.Result{ID: id, Score: r.Score})
 		}
 		di.stats.Add(di.mainRet.Stats())
+		if err != nil {
+			topk.SortResults(out)
+			return out, err
+		}
 	}
 	topk.SortResults(out)
-	return out
+	return out, nil
 }
 
 // Stats implements search.Searcher.
 func (di *DynamicIndex) Stats() search.Stats { return di.stats }
 
-var _ search.Searcher = (*DynamicIndex)(nil)
+var _ search.ContextSearcher = (*DynamicIndex)(nil)

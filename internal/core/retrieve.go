@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -14,6 +16,7 @@ import (
 // concurrent queries need separate Retrievers over the same shared Index.
 type Retriever struct {
 	idx   *Index
+	hook  *faults.Hook
 	stats search.Stats
 
 	// scratch, reused across queries
@@ -37,6 +40,10 @@ func NewRetriever(idx *Index) *Retriever {
 
 // Stats implements search.Searcher for the most recent query.
 func (r *Retriever) Stats() search.Stats { return r.stats }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook called once per scanned item.
+func (r *Retriever) SetFaultHook(h *faults.Hook) { r.hook = h }
 
 // queryState holds the per-query derived quantities of Algorithm 4
 // lines 5–9.
@@ -65,6 +72,14 @@ type queryState struct {
 // SVD transformation enabled they equal the original inner products up to
 // float64 rounding (Theorem 1).
 func (r *Retriever) Search(q []float64, k int) []topk.Result {
+	res, _ := r.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the scan polls ctx
+// every search.CheckStride items and returns the best-so-far partial
+// top-k with an ErrDeadline-wrapping error on cancellation.
+func (r *Retriever) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	idx := r.idx
 	if len(q) != idx.d {
 		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
@@ -72,13 +87,20 @@ func (r *Retriever) Search(q []float64, k int) []topk.Result {
 	r.stats = search.Stats{}
 	c := topk.New(k)
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 
 	qs := r.prepareQuery(q)
 	slack := idx.opts.PruneSlack
+	done := ctx.Done()
+	hook := r.hook
 
 	for i := 0; i < idx.n; i++ {
+		if hook != nil || (done != nil && i&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i); err != nil {
+				return c.Results(), err
+			}
+		}
 		t := c.Threshold()
 		if qs.qNorm*idx.norms[i] <= t {
 			if !idx.opts.Unsorted {
@@ -95,7 +117,7 @@ func (r *Retriever) Search(q []float64, k int) []topk.Result {
 			c.Push(idx.perm[i], v)
 		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
 // prepareQuery transforms q into the working space and precomputes every
@@ -258,4 +280,4 @@ func (r *Retriever) intDot(i, lo, hi int) int64 {
 	return vec.DotInt64(r.qFloors[lo:hi], id.floors[base+lo:base+hi])
 }
 
-var _ search.Searcher = (*Retriever)(nil)
+var _ search.ContextSearcher = (*Retriever)(nil)

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fexipro/internal/searchtest"
+	"fexipro/internal/vec"
+)
+
+// nearTieInstance builds an adversarial matrix where a block of items
+// all score within ±eps of each other exactly at the k boundary: a base
+// direction is duplicated with tiny orthogonal-ish perturbations, so the
+// k-th and (k+1)-th scores are separated by far less than typical
+// pruning-bound slack. Exactness bugs that round near-tied bounds the
+// wrong way surface here and nowhere else.
+func nearTieInstance(rng *rand.Rand, n, d, tieBlock int, eps float64) (*vec.Matrix, []float64) {
+	items := vec.NewMatrix(n, d)
+	base := make([]float64, d)
+	for j := range base {
+		base[j] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		row := items.Row(i)
+		if i < tieBlock {
+			// Near-tied block: base vector plus an eps-scale perturbation.
+			for j := range row {
+				row[j] = base[j] + eps*rng.NormFloat64()
+			}
+		} else {
+			// Background items with strictly lower expected scores.
+			for j := range row {
+				row[j] = 0.25 * rng.NormFloat64()
+			}
+		}
+	}
+	q := make([]float64, d)
+	for j := range q {
+		// Query aligned with the base direction so the tie block crowds
+		// the top of the ranking.
+		q[j] = base[j] + 0.1*rng.NormFloat64()
+	}
+	return items, q
+}
+
+// TestNearTiesAtKBoundary sweeps tie tightness from "barely separated"
+// down to float-noise scale, with k landing inside the tied block, for
+// every variant.
+func TestNearTiesAtKBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for _, eps := range []float64{1e-3, 1e-6, 1e-9, 1e-12} {
+		items, q := nearTieInstance(rng, 300, 12, 20, eps)
+		for _, variant := range allVariants {
+			r := buildVariant(t, items, variant)
+			for _, k := range []int{5, 10, 19, 20, 21, 40} {
+				got := r.Search(q, k)
+				searchtest.CheckTopK(t, items, q, k, got, variant+"/ties")
+			}
+		}
+	}
+}
+
+// TestSearchDeterministic pins run-to-run determinism: the same index
+// answering the same query twice returns identical results, byte for
+// byte. Pruning order and heap tie-breaks must not depend on hidden
+// state.
+func TestSearchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	items, q := nearTieInstance(rng, 250, 10, 15, 1e-9)
+	for _, variant := range allVariants {
+		r := buildVariant(t, items, variant)
+		a := r.Search(q, 12)
+		b := r.Search(q, 12)
+		if len(a) != len(b) {
+			t.Fatalf("%s: result counts differ %d != %d", variant, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: rank %d differs between runs: %+v != %+v", variant, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestQueryScaleMetamorphic is a metamorphic exactness property: scaling
+// the query by a positive constant scales every score by that constant
+// and must not change the identity ordering outside near-tied groups.
+// CheckTopK validates the scaled run against Naive on the scaled query,
+// and here we additionally tie the two runs to each other.
+func TestQueryScaleMetamorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	items, q := searchtest.RandomInstance(rng, 400, 16)
+	const k = 10
+	for _, variant := range allVariants {
+		r := buildVariant(t, items, variant)
+		base := r.Search(q, k)
+		for _, c := range []float64{0.001, 3.5, 1e4} {
+			scaled := make([]float64, len(q))
+			for j := range q {
+				scaled[j] = c * q[j]
+			}
+			got := r.Search(scaled, k)
+			searchtest.CheckTopK(t, items, scaled, k, got, variant+"/scaled")
+			for i := range got {
+				want := c * base[i].Score
+				if math.Abs(got[i].Score-want) > searchtest.Tolerance*(1+math.Abs(want)) {
+					t.Fatalf("%s: scale %v rank %d score %v, want %v", variant, c, i, got[i].Score, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package covertree_test
+
+import (
+	"testing"
+
+	"fexipro/internal/covertree"
+	"fexipro/internal/searchtest"
+	"fexipro/internal/vec"
+)
+
+func TestCoverTreeCancellation(t *testing.T) {
+	searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+		return covertree.New(items, 16)
+	}, "CoverTree")
+}

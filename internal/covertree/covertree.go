@@ -16,9 +16,11 @@
 package covertree
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -35,8 +37,13 @@ type Tree struct {
 	items    *vec.Matrix
 	root     *node
 	leafSize int
+	hook     *faults.Hook
 	stats    search.Stats
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// called once per visited tree node.
+func (t *Tree) SetFaultHook(h *faults.Hook) { t.hook = h }
 
 type node struct {
 	id          int     // representative item
@@ -143,18 +150,33 @@ func (t *Tree) build(rep int, ids []int) *node {
 
 // Search implements search.Searcher via best-bound-first branch and bound.
 func (t *Tree) Search(q []float64, k int) []topk.Result {
+	res, _ := t.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the descent polls ctx
+// every search.CheckStride visited nodes and returns the best-so-far
+// partial top-k with an ErrDeadline-wrapping error on cancellation.
+func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if t.items.Rows > 0 && len(q) != t.items.Cols {
 		panic(fmt.Sprintf("covertree: query dim %d != item dim %d", len(q), t.items.Cols))
 	}
 	t.stats = search.Stats{}
 	c := topk.New(k)
 	if t.root != nil && k > 0 {
-		t.descend(t.root, q, vec.Norm(q), c)
+		if err := t.descend(ctx, t.root, q, vec.Norm(q), c); err != nil {
+			return c.Results(), err
+		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
-func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
+func (t *Tree) descend(ctx context.Context, n *node, q []float64, qNorm float64, c *topk.Collector) error {
+	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+			return err
+		}
+	}
 	t.stats.NodesVisited++
 	if n.leafIDs != nil {
 		for _, id := range n.leafIDs {
@@ -162,7 +184,7 @@ func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
 			t.stats.FullProducts++
 			c.Push(id, vec.Dot(q, t.items.Row(id)))
 		}
-		return
+		return nil
 	}
 	// Order children by decreasing bound, prune those below threshold.
 	type scored struct {
@@ -184,8 +206,11 @@ func (t *Tree) descend(n *node, q []float64, qNorm float64, c *topk.Collector) {
 			t.stats.PrunedByLength += s.child.size
 			continue
 		}
-		t.descend(s.child, q, qNorm, c)
+		if err := t.descend(ctx, s.child, q, qNorm, c); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Stats implements search.Searcher.
@@ -199,4 +224,4 @@ func (t *Tree) Size() int {
 	return t.root.size
 }
 
-var _ search.Searcher = (*Tree)(nil)
+var _ search.ContextSearcher = (*Tree)(nil)

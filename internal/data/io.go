@@ -63,15 +63,31 @@ func ReadMatrixBinary(r io.Reader) (*vec.Matrix, error) {
 	if rows < 0 || cols < 0 || (cols != 0 && rows > (1<<31)/cols) {
 		return nil, fmt.Errorf("data: implausible shape %d×%d", rows, cols)
 	}
-	m := vec.NewMatrix(rows, cols)
-	var buf [8]byte
-	for i := range m.Data {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("data: reading element %d: %w", i, err)
-		}
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	// Grow the backing slice as data actually arrives instead of trusting
+	// the header: a 12-byte file claiming a 2^31-element matrix must fail
+	// with a truncation error, not a multi-gigabyte allocation. (Found by
+	// FuzzReadMatrixBinary; testdata/fuzz keeps the regression seed.)
+	total := rows * cols
+	const chunkElems = 64 << 10
+	capHint := total
+	if capHint > chunkElems {
+		capHint = chunkElems
 	}
-	return m, nil
+	data := make([]float64, 0, capHint)
+	buf := make([]byte, 8*chunkElems)
+	for len(data) < total {
+		n := total - len(data)
+		if n > chunkElems {
+			n = chunkElems
+		}
+		if _, err := io.ReadFull(br, buf[:8*n]); err != nil {
+			return nil, fmt.Errorf("data: reading element %d: %w", len(data), err)
+		}
+		for k := 0; k < n; k++ {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*k:])))
+		}
+	}
+	return &vec.Matrix{Rows: rows, Cols: cols, Data: data}, nil
 }
 
 // SaveMatrix writes m to path in FXP1 format.

@@ -13,9 +13,11 @@
 package lemp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -43,8 +45,14 @@ type Index struct {
 	d        int
 	strategy Strategy
 	buckets  []bucket
+	hook     *faults.Hook
 	stats    search.Stats
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// called once per scanned item (with a global item counter that runs
+// across bucket boundaries).
+func (idx *Index) SetFaultHook(h *faults.Hook) { idx.hook = h }
 
 type bucket struct {
 	unit      *vec.Matrix // normalized vectors
@@ -177,13 +185,22 @@ func (b *bucket) tuneW(samples *vec.Matrix) {
 
 // Search implements search.Searcher for a single query.
 func (idx *Index) Search(q []float64, k int) []topk.Result {
+	res, _ := idx.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: bucket scans poll ctx
+// every search.CheckStride items (counted globally across buckets) and
+// return the best-so-far partial top-k with an ErrDeadline-wrapping
+// error on cancellation.
+func (idx *Index) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if len(q) != idx.d {
 		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", len(q), idx.d))
 	}
 	idx.stats = search.Stats{}
 	c := topk.New(k)
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	qNorm := vec.Norm(q)
 	if qNorm == 0 {
@@ -196,7 +213,7 @@ func (idx *Index) Search(q []float64, k int) []topk.Result {
 				c.Push(b.ids[i], 0)
 			}
 		}
-		return c.Results()
+		return c.Results(), nil
 	}
 	qUnit := vec.Scaled(q, 1/qNorm)
 
@@ -213,6 +230,9 @@ func (idx *Index) Search(q []float64, k int) []topk.Result {
 		qRest = math.Sqrt(math.Max(0, 1-qf*qf))
 	}
 
+	done := ctx.Done()
+	hook := idx.hook
+	pos := 0 // global item counter across buckets, for Poll indices
 	for bi := range idx.buckets {
 		b := &idx.buckets[bi]
 		t := c.Threshold()
@@ -228,24 +248,33 @@ func (idx *Index) Search(q []float64, k int) []topk.Result {
 			cosUB := b.coord.cosUpperBound(qUnit)
 			if b.coord.bucketBound(qNorm, b.maxNorm, cosUB) <= t {
 				idx.stats.PrunedByIncremental += len(b.ids)
+				pos += len(b.ids)
 				continue
 			}
 		}
-		idx.scanBucket(b, qUnit, qNorm, focus, qf, qRest, c)
+		if err := idx.scanBucket(ctx, hook, done, &pos, b, qUnit, qNorm, focus, qf, qRest, c); err != nil {
+			return c.Results(), err
+		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
-func (idx *Index) scanBucket(b *bucket, qUnit []float64, qNorm float64, focus int, qf, qRest float64, c *topk.Collector) {
+func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan struct{}, pos *int, b *bucket, qUnit []float64, qNorm float64, focus int, qf, qRest float64, c *topk.Collector) error {
 	d := idx.d
 	w := b.w
 	qTail := vec.NormRange(qUnit, w, d)
 	for i := 0; i < b.unit.Rows; i++ {
+		if hook != nil || (done != nil && *pos&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, *pos); err != nil {
+				return err
+			}
+		}
+		*pos++
 		t := c.Threshold()
 		lenBound := qNorm * b.norms[i]
 		if lenBound <= t {
 			idx.stats.PrunedByLength += b.unit.Rows - i
-			return
+			return nil
 		}
 		idx.stats.Scanned++
 		theta := math.Inf(-1)
@@ -278,6 +307,7 @@ func (idx *Index) scanBucket(b *bucket, qUnit []float64, qNorm float64, focus in
 			c.Push(b.ids[i], v)
 		}
 	}
+	return nil
 }
 
 // Stats implements search.Searcher (counters of the most recent Search;
@@ -300,4 +330,4 @@ func (idx *Index) TopKJoin(queries *vec.Matrix, k int) [][]topk.Result {
 	return out
 }
 
-var _ search.Searcher = (*Index)(nil)
+var _ search.ContextSearcher = (*Index)(nil)

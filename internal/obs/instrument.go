@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"time"
 
 	"fexipro/internal/search"
@@ -42,10 +43,19 @@ func (w *Instrumented) Search(q []float64, k int) []topk.Result {
 	return res
 }
 
+// SearchContext implements search.ContextSearcher, recording counters
+// and latency for cancelled scans too (partial work is still work).
+func (w *Instrumented) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+	start := time.Now()
+	res, err := search.WithContext(w.inner).SearchContext(ctx, q, k)
+	w.rec.RecordSearch(w.inner.Stats(), time.Since(start).Seconds())
+	return res, err
+}
+
 // Stats reports the counters of the most recent Search call.
 func (w *Instrumented) Stats() search.Stats { return w.inner.Stats() }
 
 // Unwrap returns the wrapped searcher.
 func (w *Instrumented) Unwrap() search.Searcher { return w.inner }
 
-var _ search.Searcher = (*Instrumented)(nil)
+var _ search.ContextSearcher = (*Instrumented)(nil)

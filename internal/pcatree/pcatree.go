@@ -17,10 +17,12 @@
 package pcatree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/svd"
 	"fexipro/internal/topk"
@@ -43,8 +45,13 @@ type Tree struct {
 	ext   *vec.Matrix // (d+1)-dimensional transformed items
 	root  *pnode
 	opts  Options
+	hook  *faults.Hook
 	stats search.Stats
 }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection hook
+// called once per visited tree node.
+func (t *Tree) SetFaultHook(h *faults.Hook) { t.hook = h }
 
 type pnode struct {
 	// internal
@@ -160,21 +167,37 @@ func (t *Tree) topComponent(ids []int) []float64 {
 // Search implements search.Searcher, approximately: only candidates in
 // the visited leaves are considered.
 func (t *Tree) Search(q []float64, k int) []topk.Result {
+	res, _ := t.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the descent polls ctx
+// every search.CheckStride visited nodes and returns the best-so-far
+// partial (and, as always for PCATree, approximate) top-k with an
+// ErrDeadline-wrapping error on cancellation.
+func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if t.items.Rows > 0 && len(q) != t.items.Cols {
 		panic(fmt.Sprintf("pcatree: query dim %d != item dim %d", len(q), t.items.Cols))
 	}
 	t.stats = search.Stats{}
 	c := topk.New(k)
 	if t.root == nil || k == 0 {
-		return c.Results()
+		return c.Results(), nil
 	}
 	ext := make([]float64, t.items.Cols+1)
 	copy(ext[1:], q)
-	t.descend(t.root, ext, q, c)
-	return c.Results()
+	if err := t.descend(ctx, t.root, ext, q, c); err != nil {
+		return c.Results(), err
+	}
+	return c.Results(), nil
 }
 
-func (t *Tree) descend(n *pnode, ext, q []float64, c *topk.Collector) {
+func (t *Tree) descend(ctx context.Context, n *pnode, ext, q []float64, c *topk.Collector) error {
+	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+			return err
+		}
+	}
 	t.stats.NodesVisited++
 	if n.ids != nil {
 		for _, id := range n.ids {
@@ -182,18 +205,23 @@ func (t *Tree) descend(n *pnode, ext, q []float64, c *topk.Collector) {
 			t.stats.FullProducts++
 			c.Push(id, vec.Dot(q, t.items.Row(id)))
 		}
-		return
+		return nil
 	}
 	proj := vec.Dot(n.direction, ext)
 	primary, secondary := n.left, n.right
 	if proj > n.threshold {
 		primary, secondary = n.right, n.left
 	}
-	t.descend(primary, ext, q, c)
+	if err := t.descend(ctx, primary, ext, q, c); err != nil {
+		return err
+	}
 	if t.opts.SpillFraction > 0 && n.spread > 0 &&
 		math.Abs(proj-n.threshold) <= t.opts.SpillFraction*n.spread {
-		t.descend(secondary, ext, q, c)
+		if err := t.descend(ctx, secondary, ext, q, c); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Stats implements search.Searcher.
@@ -229,4 +257,4 @@ func RMSEAtK(t *Tree, exact search.Searcher, queries *vec.Matrix, k int) float64
 	return math.Sqrt(se / float64(count))
 }
 
-var _ search.Searcher = (*Tree)(nil)
+var _ search.ContextSearcher = (*Tree)(nil)

@@ -1,0 +1,106 @@
+package scan_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fexipro/internal/faults"
+	"fexipro/internal/scan"
+	"fexipro/internal/search"
+	"fexipro/internal/searchtest"
+	"fexipro/internal/vec"
+)
+
+func TestNaiveCancellation(t *testing.T) {
+	searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+		return scan.NewNaive(items)
+	}, "Naive")
+}
+
+func TestSSCancellation(t *testing.T) {
+	searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+		return scan.NewSS(items, 0)
+	}, "SS")
+}
+
+func TestSSLCancellation(t *testing.T) {
+	searchtest.CheckCancellation(t, func(items *vec.Matrix) searchtest.FaultSearcher {
+		return scan.NewSSL(items, scan.SSLOptions{})
+	}, "SS-L")
+}
+
+// TestDeadlineAcceptance is the PR's acceptance criterion: a query with
+// a 1 ms deadline against a 100k-item index comes back well under 10 ms
+// with partial results and an ErrDeadline-wrapping error — even when an
+// injected fault makes the scan pathologically slow. The injected 2 ms
+// stall at item 0 guarantees the deadline has expired by the very first
+// context poll, so the scan gives up after O(1) work.
+func TestDeadlineAcceptance(t *testing.T) {
+	const n, d = 100_000, 16
+	rng := rand.New(rand.NewSource(7))
+	items := vec.NewMatrix(n, d)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	s := scan.NewNaive(items)
+	reg := faults.NewRegistry(7)
+	// Sleep 2 ms at item 0 only: the 1 ms deadline is stale before the
+	// first poll completes.
+	s.SetFaultHook(reg.Enable(faults.SiteScan, faults.Plan{
+		ItemLatency:      2 * time.Millisecond,
+		ItemLatencyEvery: 1 << 30,
+	}))
+	defer s.SetFaultHook(nil)
+
+	// Wall-clock assertions flake on loaded machines; accept the fastest
+	// of a few attempts but require correct semantics on every attempt.
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		start := time.Now()
+		res, err := s.SearchContext(ctx, q, 10)
+		took := time.Since(start)
+		cancel()
+		if !errors.Is(err, search.ErrDeadline) {
+			t.Fatalf("attempt %d: err = %v, want ErrDeadline", attempt, err)
+		}
+		if len(res) >= 10 && s.Stats().Scanned >= n {
+			t.Fatalf("attempt %d: scan ran to completion despite 1ms deadline", attempt)
+		}
+		if took < best {
+			best = took
+		}
+	}
+	if best >= 10*time.Millisecond {
+		t.Fatalf("best-of-5 deadline return took %v, want < 10ms", best)
+	}
+}
+
+// TestDeadlineUnexpiredIsExact is the control: the same index with no
+// deadline pressure completes and returns a nil (exact) error.
+func TestDeadlineUnexpiredIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	items := vec.NewMatrix(5000, 8)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	q := make([]float64, 8)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	s := scan.NewNaive(items)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := s.SearchContext(ctx, q, 10)
+	if err != nil {
+		t.Fatalf("unexpired deadline returned error %v", err)
+	}
+	searchtest.CheckTopK(t, items, q, 10, res, "Naive/deadline-unexpired")
+}

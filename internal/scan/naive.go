@@ -5,6 +5,9 @@
 package scan
 
 import (
+	"context"
+
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -15,6 +18,7 @@ import (
 // truth for all exactness tests.
 type Naive struct {
 	items *vec.Matrix
+	hook  *faults.Hook
 	stats search.Stats
 }
 
@@ -24,19 +28,71 @@ func NewNaive(items *vec.Matrix) *Naive {
 	return &Naive{items: items}
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook called once per scanned item.
+func (n *Naive) SetFaultHook(h *faults.Hook) { n.hook = h }
+
 // Search implements search.Searcher.
 func (n *Naive) Search(q []float64, k int) []topk.Result {
+	res, _ := n.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the scan polls ctx
+// every search.CheckStride items and returns the best-so-far partial
+// top-k with an ErrDeadline-wrapping error on cancellation.
+//
+// Naive is the cheapest per-item scan in the repository (a bare dot
+// product), so it is the one place where even a predictable per-item
+// branch shows up in profiles. The loop is therefore split three ways:
+// no guard at all when neither a hook nor a cancellable context is
+// present, stride-sized tight chunks with one poll between chunks when
+// only the context needs watching, and the fully guarded per-item loop
+// only when a fault hook demands per-item OnItem calls.
+// BenchmarkSearchContextOverhead in bench_test.go holds the first two
+// paths within 1% of a guard-free scan at d = 1.
+func (n *Naive) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	n.stats = search.Stats{}
 	c := topk.New(k)
-	for i := 0; i < n.items.Rows; i++ {
-		c.Push(i, vec.Dot(q, n.items.Row(i)))
+	done := ctx.Done()
+	hook := n.hook
+	rows := n.items.Rows
+	switch {
+	case hook == nil && done == nil:
+		for i := 0; i < rows; i++ {
+			c.Push(i, vec.Dot(q, n.items.Row(i)))
+		}
+	case hook == nil:
+		for base := 0; base < rows; base += search.CheckStride {
+			if err := search.Poll(ctx, nil, base); err != nil {
+				n.stats.Scanned = base
+				n.stats.FullProducts = base
+				return c.Results(), err
+			}
+			end := base + search.CheckStride
+			if end > rows {
+				end = rows
+			}
+			for i := base; i < end; i++ {
+				c.Push(i, vec.Dot(q, n.items.Row(i)))
+			}
+		}
+	default:
+		for i := 0; i < rows; i++ {
+			if err := search.Poll(ctx, hook, i); err != nil {
+				n.stats.Scanned = i
+				n.stats.FullProducts = i
+				return c.Results(), err
+			}
+			c.Push(i, vec.Dot(q, n.items.Row(i)))
+		}
 	}
-	n.stats.Scanned = n.items.Rows
-	n.stats.FullProducts = n.items.Rows
-	return c.Results()
+	n.stats.Scanned = rows
+	n.stats.FullProducts = rows
+	return c.Results(), nil
 }
 
 // Stats implements search.Searcher.
 func (n *Naive) Stats() search.Stats { return n.stats }
 
-var _ search.Searcher = (*Naive)(nil)
+var _ search.ContextSearcher = (*Naive)(nil)

@@ -1,8 +1,10 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -17,6 +19,7 @@ type SS struct {
 	norms     []float64   // ‖p‖ per sorted row
 	tailNorms []float64   // ‖p^h‖ (coordinates w..d) per sorted row
 	w         int
+	hook      *faults.Hook
 	stats     search.Stats
 }
 
@@ -58,8 +61,20 @@ func clampW(w, d int) int {
 // W returns the checking dimension in use.
 func (s *SS) W() int { return s.w }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook called once per scanned item.
+func (s *SS) SetFaultHook(h *faults.Hook) { s.hook = h }
+
 // Search implements search.Searcher.
 func (s *SS) Search(q []float64, k int) []topk.Result {
+	res, _ := s.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the scan polls ctx
+// every search.CheckStride items and returns the best-so-far partial
+// top-k with an ErrDeadline-wrapping error on cancellation.
+func (s *SS) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if len(q) != s.items.Cols {
 		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), s.items.Cols))
 	}
@@ -67,8 +82,15 @@ func (s *SS) Search(q []float64, k int) []topk.Result {
 	c := topk.New(k)
 	qNorm := vec.Norm(q)
 	qTail := vec.NormRange(q, s.w, len(q))
+	done := ctx.Done()
+	hook := s.hook
 
 	for i := 0; i < s.items.Rows; i++ {
+		if hook != nil || (done != nil && i&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i); err != nil {
+				return c.Results(), err
+			}
+		}
 		t := c.Threshold()
 		if qNorm*s.norms[i] <= t {
 			// Everything after i has a smaller length: terminate.
@@ -82,7 +104,7 @@ func (s *SS) Search(q []float64, k int) []topk.Result {
 			c.Push(s.perm[i], v)
 		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
 // coordinateScan is Algorithm 2: accumulate the first w products, attempt
@@ -105,6 +127,6 @@ func (s *SS) coordinateScan(q, p []float64, qTail, pTail, t float64) float64 {
 // Stats implements search.Searcher.
 func (s *SS) Stats() search.Stats { return s.stats }
 
-var _ search.Searcher = (*SS)(nil)
+var _ search.ContextSearcher = (*SS)(nil)
 
 const negInf = -1.7976931348623157e308 // ≈ -math.MaxFloat64; sentinel for "pruned"

@@ -1,9 +1,11 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -22,6 +24,7 @@ type SSL struct {
 	norms     []float64 // original ‖p‖ per sorted row
 	tailNorms []float64 // ‖p'^h‖ on the unit vectors, coordinates w..d
 	w         int
+	hook      *faults.Hook
 	stats     search.Stats
 }
 
@@ -104,8 +107,20 @@ func (s *SSL) tuneW(samples *vec.Matrix, k int) {
 // W returns the checking dimension in use.
 func (s *SSL) W() int { return s.w }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook called once per scanned item.
+func (s *SSL) SetFaultHook(h *faults.Hook) { s.hook = h }
+
 // Search implements search.Searcher.
 func (s *SSL) Search(q []float64, k int) []topk.Result {
+	res, _ := s.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// SearchContext implements search.ContextSearcher: the scan polls ctx
+// every search.CheckStride items and returns the best-so-far partial
+// top-k with an ErrDeadline-wrapping error on cancellation.
+func (s *SSL) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	d := s.unit.Cols
 	if len(q) != d {
 		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), d))
@@ -118,7 +133,7 @@ func (s *SSL) Search(q []float64, k int) []topk.Result {
 		for i := 0; i < min(k, s.unit.Rows); i++ {
 			c.Push(s.perm[i], 0)
 		}
-		return c.Results()
+		return c.Results(), nil
 	}
 	qUnit := vec.Scaled(q, 1/qNorm)
 	qTail := vec.NormRange(qUnit, s.w, d)
@@ -132,8 +147,15 @@ func (s *SSL) Search(q []float64, k int) []topk.Result {
 	}
 	qf := qUnit[focus]
 	qRest := math.Sqrt(math.Max(0, 1-qf*qf))
+	done := ctx.Done()
+	hook := s.hook
 
 	for i := 0; i < s.unit.Rows; i++ {
+		if hook != nil || (done != nil && i&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i); err != nil {
+				return c.Results(), err
+			}
+		}
 		t := c.Threshold()
 		lenBound := qNorm * s.norms[i]
 		if lenBound <= t {
@@ -173,10 +195,10 @@ func (s *SSL) Search(q []float64, k int) []topk.Result {
 			c.Push(s.perm[i], v)
 		}
 	}
-	return c.Results()
+	return c.Results(), nil
 }
 
 // Stats implements search.Searcher.
 func (s *SSL) Stats() search.Stats { return s.stats }
 
-var _ search.Searcher = (*SSL)(nil)
+var _ search.ContextSearcher = (*SSL)(nil)

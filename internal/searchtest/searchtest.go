@@ -4,10 +4,13 @@
 package searchtest
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/scan"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -94,6 +97,105 @@ func CheckSearcher(t *testing.T, build func(items *vec.Matrix) search.Searcher, 
 			got := s.Search(q, c.k)
 			CheckTopK(t, items, q, c.k, got, label)
 		}
+	}
+}
+
+// FaultSearcher is a context-aware searcher that accepts a
+// fault-injection hook — every searcher in this repository.
+type FaultSearcher interface {
+	search.ContextSearcher
+	SetFaultHook(*faults.Hook)
+}
+
+// CheckCancellation is the cancellation property suite shared by every
+// searcher: cancelling the scan at a random item (or node) index via a
+// deterministic fault NEVER yields a result set flagged exact (nil
+// error), every partial score is a true inner product of its returned
+// ID, partial results stay sorted, a hook that never fires leaves the
+// results identical to the uncancelled baseline, and an
+// already-cancelled context returns promptly with ErrDeadline.
+func CheckCancellation(t *testing.T, build func(items *vec.Matrix) FaultSearcher, label string) {
+	t.Helper()
+	checkCancellation(t, build, label, true)
+}
+
+// CheckCancellationApprox is CheckCancellation for approximate searchers
+// (PCA-Tree): the uncancelled baseline is not compared against Naive,
+// but every other invariant — never-exact-when-cut-short, true scores,
+// sortedness, unfired-hook determinism, prompt pre-cancelled return —
+// still holds.
+func CheckCancellationApprox(t *testing.T, build func(items *vec.Matrix) FaultSearcher, label string) {
+	t.Helper()
+	checkCancellation(t, build, label, false)
+}
+
+func checkCancellation(t *testing.T, build func(items *vec.Matrix) FaultSearcher, label string, exact bool) {
+	t.Helper()
+	const seed = 20240611
+	rng := rand.New(rand.NewSource(seed))
+	items, q := RandomInstance(rng, 400, 16)
+	const k = 10
+	s := build(items)
+
+	base, err := s.SearchContext(context.Background(), q, k)
+	if err != nil {
+		t.Fatalf("%s: uncancelled SearchContext error: %v", label, err)
+	}
+	if exact {
+		CheckTopK(t, items, q, k, base, label+"/uncancelled")
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		cancelAt := 1 + rng.Intn(600) // may exceed the work actually done
+		reg := faults.NewRegistry(seed + int64(trial))
+		hook := reg.Enable(faults.SiteScan, faults.Plan{CancelAtItem: cancelAt})
+		s.SetFaultHook(hook)
+		res, err := s.SearchContext(context.Background(), q, k)
+		s.SetFaultHook(nil)
+
+		if hook.Counts().Cancels > 0 {
+			// The scan was cut short: flagging these results exact (nil
+			// error) would be a correctness lie.
+			if err == nil {
+				t.Fatalf("%s: cancel at item %d fired but SearchContext returned nil error",
+					label, cancelAt)
+			}
+			if !errors.Is(err, search.ErrDeadline) {
+				t.Fatalf("%s: cancellation error %v does not wrap search.ErrDeadline", label, err)
+			}
+		} else {
+			// Fault never fired: the scan completed and must be exact,
+			// identical to the baseline run.
+			if err != nil {
+				t.Fatalf("%s: unfired cancel at %d returned error %v", label, cancelAt, err)
+			}
+			if len(res) != len(base) {
+				t.Fatalf("%s: unfired cancel changed result count %d != %d", label, len(res), len(base))
+			}
+			for i := range res {
+				if res[i] != base[i] {
+					t.Fatalf("%s: unfired cancel changed rank %d: %+v != %+v", label, i, res[i], base[i])
+				}
+			}
+		}
+		// Partial or not: scores are true inner products, sorted descending.
+		for i, r := range res {
+			actual := vec.Dot(q, items.Row(r.ID))
+			if !scoreClose(actual, r.Score) {
+				t.Fatalf("%s: cancel at %d returned item %d with score %v, true product %v",
+					label, cancelAt, r.ID, r.Score, actual)
+			}
+			if i > 0 && res[i-1].Score < r.Score {
+				t.Fatalf("%s: cancel at %d results unsorted at rank %d", label, cancelAt, i)
+			}
+		}
+	}
+
+	// An already-cancelled context returns promptly with ErrDeadline.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SearchContext(ctx, q, k); !errors.Is(err, search.ErrDeadline) {
+		t.Fatalf("%s: pre-cancelled context error = %v, want ErrDeadline", label, err)
 	}
 }
 

@@ -34,9 +34,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fexipro/internal/core"
+	"fexipro/internal/faults"
 	"fexipro/internal/obs"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -44,7 +46,8 @@ import (
 )
 
 // Config tunes the observability and limits of a Server. The zero value
-// is usable: a private metrics registry, a no-op logger, pprof off.
+// is usable: a private metrics registry, a no-op logger, pprof off, no
+// timeout, no concurrency limit.
 type Config struct {
 	// Metrics receives all server and search metrics. Nil allocates a
 	// private registry (still served at /metrics).
@@ -55,6 +58,25 @@ type Config struct {
 	EnablePprof bool
 	// MaxK caps per-request k to bound response sizes (default 1000).
 	MaxK int
+
+	// RequestTimeout is the default per-request deadline applied to /v1/
+	// routes; 0 disables. Clients may override per request with the
+	// X-Timeout-Ms header.
+	RequestTimeout time.Duration
+	// MaxTimeout caps the effective deadline (default + header); 0 means
+	// uncapped. A header value above the cap is clamped, not rejected.
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds in-flight /v1/ requests; excess requests are
+	// shed immediately with 429 and a Retry-After header. 0 disables.
+	MaxConcurrent int
+	// PartialOnDeadline makes /v1/search and /v1/above answer a deadline
+	// expiry with 200 and the best-so-far results flagged "exact": false
+	// instead of 504.
+	PartialOnDeadline bool
+	// Faults, when non-nil, is consulted per request for injected faults
+	// at the faults.SiteServerSearch / SiteServerMutate / SiteScan sites.
+	// Production servers leave it nil, which costs one nil check.
+	Faults *faults.Registry
 }
 
 // Server is the HTTP handler set over one dynamic index.
@@ -74,6 +96,16 @@ type Server struct {
 	adds     *obs.Counter
 	deletes  *obs.Counter
 	items    *obs.Gauge
+
+	// Guard stack (see guard.go).
+	sem           chan struct{} // nil when MaxConcurrent == 0
+	ready         atomic.Bool
+	guardSheds    *obs.Counter
+	guardTimeouts *obs.Counter
+	guardPartials *obs.Counter
+	guardPanics   *obs.Counter
+	inflight      *obs.Gauge
+	readyGauge    *obs.Gauge
 }
 
 // New builds a server over an initial item matrix (rows are items; may
@@ -124,6 +156,24 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 			"End-to-end HTTP request latency in seconds.", nil, obs.L("route", route))
 	}
 	s.items.Set(float64(idx.Len()))
+
+	// Guard stack wiring (middleware in guard.go).
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.guardSheds = reg.Counter("fexserve_guard_sheds_total",
+		"Requests shed with 429 by the concurrency limiter.")
+	s.guardTimeouts = reg.Counter("fexserve_guard_timeouts_total",
+		"Search scans cancelled by a deadline or injected fault.")
+	s.guardPartials = reg.Counter("fexserve_guard_partials_total",
+		"Deadline-expired searches answered 200 with partial (inexact) results.")
+	s.guardPanics = reg.Counter("fexserve_guard_panics_total",
+		"Handler panics recovered into 500 responses.")
+	s.inflight = reg.Gauge("fexserve_inflight_requests",
+		"Guarded /v1/ requests currently being served.")
+	s.readyGauge = reg.Gauge("fexserve_ready",
+		"1 when the index is built and the server accepts traffic, else 0.")
+	s.SetReady(true) // the index build above succeeded
 	return s, nil
 }
 
@@ -139,10 +189,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/items", s.handleAddItem)
 	mux.HandleFunc("DELETE /v1/items/", s.handleDeleteItem)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -151,7 +200,13 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.observe(mux)
+	// Guard ordering (outermost first): observe assigns the trace ID and
+	// records metrics/logs for whatever status the inner layers produce;
+	// recoverPanics turns panics into 500s (so they are observed);
+	// shedLoad rejects excess concurrency before any work; withTimeout
+	// arms the per-request deadline last, so shed requests never consume
+	// a timer. See DESIGN.md "Robustness".
+	return s.observe(s.recoverPanics(s.shedLoad(s.withTimeout(mux))))
 }
 
 // reqInfo is filled in by handlers so the middleware can log
@@ -252,8 +307,10 @@ func routeLabel(r *http.Request) string {
 		return "/v1/items/{id}"
 	case p == "/v1/info":
 		return "/v1/info"
-	case p == "/v1/healthz":
-		return "/v1/healthz"
+	case p == "/v1/healthz" || p == "/healthz":
+		return "/healthz"
+	case p == "/readyz":
+		return "/readyz"
 	case p == "/metrics":
 		return "/metrics"
 	case strings.HasPrefix(p, "/debug/pprof"):
@@ -292,6 +349,10 @@ type searchResponse struct {
 	TookMicros int64             `json:"tookMicros"`
 	TraceID    string            `json:"traceId,omitempty"`
 	Stats      obs.StageCounters `json:"stats"`
+	// Exact is true only when the scan ran to completion: a deadline
+	// expiry answered with partial results (Config.PartialOnDeadline)
+	// reports false, and the result set may be missing items.
+	Exact bool `json:"exact"`
 }
 
 func (s *Server) decodeVector(w http.ResponseWriter, r *http.Request, req *searchRequest) bool {
@@ -326,7 +387,23 @@ func (s *Server) noteSearch(r *http.Request, k int, st search.Stats, took time.D
 	return sc
 }
 
+// searchLocked serializes index access around fn, releasing the mutex
+// even when an injected fault panics mid-scan (the deferred unlock is
+// what keeps a recovered panic from deadlocking every later request).
+// The scan-site fault hook is re-read per call so tests can Enable or
+// Disable it between requests.
+func (s *Server) searchLocked(fn func() ([]topk.Result, error)) ([]topk.Result, search.Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.SetFaultHook(s.cfg.Faults.Hook(faults.SiteScan))
+	res, err := fn()
+	return res, s.idx.Stats(), err
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.onGuardedCall(w, r, faults.SiteServerSearch) {
+		return
+	}
 	var req searchRequest
 	if !s.decodeVector(w, r, &req) {
 		return
@@ -340,20 +417,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.mu.Lock()
-	results := s.idx.Search(req.Vector, req.K)
-	st := s.idx.Stats()
-	s.mu.Unlock()
+	results, st, err := s.searchLocked(func() ([]topk.Result, error) {
+		return s.idx.SearchContext(r.Context(), req.Vector, req.K)
+	})
 	took := time.Since(start)
+	sc := s.noteSearch(r, req.K, st, took)
+	if !s.deadlineOK(w, r, err) {
+		return
+	}
 	writeJSON(w, searchResponse{
 		Results:    toResultsJSON(results),
 		TookMicros: took.Microseconds(),
 		TraceID:    obs.TraceIDFrom(r.Context()),
-		Stats:      s.noteSearch(r, req.K, st, took),
+		Stats:      sc,
+		Exact:      err == nil,
 	})
 }
 
 func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
+	if !s.onGuardedCall(w, r, faults.SiteServerSearch) {
+		return
+	}
 	var req searchRequest
 	if !s.decodeVector(w, r, &req) {
 		return
@@ -363,11 +447,14 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.mu.Lock()
-	results := s.idx.SearchAbove(req.Vector, *req.Threshold)
-	st := s.idx.Stats()
-	s.mu.Unlock()
+	results, st, err := s.searchLocked(func() ([]topk.Result, error) {
+		return s.idx.SearchAboveContext(r.Context(), req.Vector, *req.Threshold)
+	})
 	took := time.Since(start)
+	sc := s.noteSearch(r, 0, st, took)
+	if !s.deadlineOK(w, r, err) {
+		return
+	}
 	if len(results) > s.MaxK {
 		results = results[:s.MaxK] // keep responses bounded
 	}
@@ -375,7 +462,8 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 		Results:    toResultsJSON(results),
 		TookMicros: took.Microseconds(),
 		TraceID:    obs.TraceIDFrom(r.Context()),
-		Stats:      s.noteSearch(r, 0, st, took),
+		Stats:      sc,
+		Exact:      err == nil,
 	})
 }
 
@@ -384,6 +472,9 @@ type addItemRequest struct {
 }
 
 func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
+	if !s.onGuardedCall(w, r, faults.SiteServerMutate) {
+		return
+	}
 	var req addItemRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -415,6 +506,9 @@ func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
+	if !s.onGuardedCall(w, r, faults.SiteServerMutate) {
+		return
+	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/v1/items/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
@@ -457,11 +551,45 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// errorResponse is the JSON body of every non-2xx answer: a
+// human-readable message, a stable machine-readable code, and the
+// request's trace ID for log correlation.
+type errorResponse struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"traceId,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpErrorCode(w, status, defaultErrorCode(status), format, args...)
+}
+
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	// Best-effort: the status code is already on the wire.
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	// Best-effort: the status code is already on the wire. The trace ID
+	// header was set by the observe middleware before any handler ran.
+	_ = json.NewEncoder(w).Encode(errorResponse{
+		Error:   fmt.Sprintf(format, args...),
+		Code:    code,
+		TraceID: w.Header().Get(obs.TraceHeader),
+	})
+}
+
+func defaultErrorCode(status int) string {
+	switch {
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusGatewayTimeout:
+		return "deadline"
+	case status >= 500:
+		return "internal"
+	}
+	return "error"
 }
 
 func isNaNOrInf(v float64) bool {

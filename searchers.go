@@ -1,6 +1,8 @@
 package fexipro
 
 import (
+	"context"
+
 	"fexipro/internal/balltree"
 	"fexipro/internal/batch"
 	"fexipro/internal/core"
@@ -63,6 +65,13 @@ func New(items *Matrix, opts Options) (*FEXIPRO, error) {
 // Search implements Searcher.
 func (f *FEXIPRO) Search(q []float64, k int) []Result {
 	return convertResults(f.r.Search(q, k))
+}
+
+// SearchContext implements Searcher: on cancellation it returns the
+// best-so-far partial top-k and an ErrDeadline-wrapping error.
+func (f *FEXIPRO) SearchContext(ctx context.Context, q []float64, k int) ([]Result, error) {
+	res, err := f.r.SearchContext(ctx, q, k)
+	return convertResults(res), err
 }
 
 // LastStats implements Searcher.
@@ -153,6 +162,13 @@ func NewLEMP(items *Matrix, bucketSize int, sampleQueries *Matrix) *LEMP {
 // Search implements Searcher for a single query.
 func (l *LEMP) Search(q []float64, k int) []Result {
 	return convertResults(l.idx.Search(q, k))
+}
+
+// SearchContext implements Searcher: on cancellation it returns the
+// best-so-far partial top-k and an ErrDeadline-wrapping error.
+func (l *LEMP) SearchContext(ctx context.Context, q []float64, k int) ([]Result, error) {
+	res, err := l.idx.SearchContext(ctx, q, k)
+	return convertResults(res), err
 }
 
 // LastStats implements Searcher.
