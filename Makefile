@@ -9,13 +9,14 @@ GO ?= go
 # detector: the server guard stack and e2e chaos test, the metrics
 # registry, the fault-injection hooks, and the cancellation paths of the
 # core retriever and the scan baselines. `make race` runs everything.
-RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/...
+# subset also covers the sharded execution engine and its kernels.
+RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/... ./internal/engine/...
 
 # Per-target budget for the fuzz smoke (`go test -fuzz` accepts exactly
 # one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: all verify build test check vet lint fmt-check precommit race race-subset fuzz-smoke bench
+.PHONY: all verify build test check vet lint fmt-check precommit race race-subset fuzz-smoke bench bench-shard
 
 all: check
 
@@ -68,6 +69,15 @@ race-subset:
 fuzz-smoke:
 	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixBinary -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixCSV -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+## bench-shard: the sharded execution engine benchmark (sequential
+## retriever vs engine at several shard counts), then a sharded
+## -statsjson dump whose per-stage counters can be diffed field by field
+## against a sequential run of the same workload.
+bench-shard:
+	$(GO) test -bench=BenchmarkShardedSearch -benchtime=1x -run='^$$' .
+	$(GO) run ./cmd/fexbench -statsjson -profiles movielens -items 5000 -queries 20 -k 10 -methods F-SIR -shards 8 -workers 4

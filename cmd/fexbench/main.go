@@ -8,11 +8,15 @@
 //	fexbench -exp fig8,fig9 -profiles movielens,netflix
 //	fexbench -exp table4 -items 5000 -queries 50   # quick smoke run
 //	fexbench -statsjson -profiles netflix -k 10    # per-stage counters as JSON
+//	fexbench -statsjson -shards 8 -workers 4       # sharded execution engine
 //
 // -statsjson dumps the cumulative per-pruning-stage counters in the
 // same schema fexserve exposes at /metrics and in its /v1/search
 // responses, so offline benchmark numbers and online telemetry are
-// directly comparable.
+// directly comparable. With -shards > 1 each method's index is
+// partitioned and every query is answered in parallel through the
+// sharded execution engine (DESIGN.md §11) — results and counters stay
+// exact, and the dump records the shard/worker configuration.
 //
 // Default sizes follow Table 2 of the paper (Yahoo scaled to 100k items)
 // with 200 sampled queries per dataset; expect minutes per experiment at
@@ -40,11 +44,14 @@ func main() {
 		statsOut = flag.Bool("statsjson", false, "dump per-stage pruning counters as JSON (same schema as fexserve telemetry)")
 		methods  = flag.String("methods", "", "comma-separated methods for -statsjson (default: all of Table 4)")
 		k        = flag.Int("k", 1, "top-k for -statsjson")
+		shards   = flag.Int("shards", 0, "partition each method's index into this many shards answered in parallel per query; results stay exact (0/1 = sequential scan)")
+		workers  = flag.Int("workers", 0, "per-query goroutine pool for -shards > 1 (0 = GOMAXPROCS, clamped to -shards)")
 	)
 	flag.Parse()
 
 	if *statsOut {
-		cfg := experiments.Config{Items: *items, Queries: *queries, Dim: *dim}
+		cfg := experiments.Config{Items: *items, Queries: *queries, Dim: *dim,
+			Shards: *shards, SearchWorkers: *workers}
 		if *profiles != "" {
 			cfg.Profiles = strings.Split(*profiles, ",")
 		}

@@ -5,6 +5,7 @@
 //	fexserve -items data/items.fxp -addr :8080
 //	fexserve -dim 50 -addr :8080          # start with an empty catalog
 //	fexserve -dim 50 -log-format json -pprof
+//	fexserve -items data/items.fxp -shards 8 -search-workers 4
 //
 // API (JSON):
 //
@@ -12,7 +13,7 @@
 //	POST   /v1/above    {"vector": [...], "threshold": 3.5}
 //	POST   /v1/items    {"vector": [...]}            → 201 {"id": n}
 //	DELETE /v1/items/{id}
-//	GET    /v1/info     → {"items": n, "dim": d}
+//	GET    /v1/info     → {"items": n, "dim": d, "shards": s}
 //	GET    /healthz     liveness (also at /v1/healthz)
 //	GET    /readyz      readiness: 200 once the index is built, 503
 //	                    while draining for shutdown
@@ -27,6 +28,13 @@
 // or — with -partial — 200 with the best-so-far results and
 // "exact": false. -max-concurrent sheds excess load with 429 and
 // Retry-After. Panics are recovered into 500s carrying the trace ID.
+//
+// Sharding: -shards N splits the catalog into N independent shards
+// (stable mapping id mod N), so a single add or delete only rebuilds
+// the owning shard, and each query fans out across the shards through
+// a pool of -search-workers goroutines before merging into the exact
+// global top-k (DESIGN.md §11). Per-shard scan wall time is exported
+// as fexipro_shard_scan_seconds, labeled by shard index.
 //
 // Every request is logged as one structured line (text or JSON via
 // -log-format) with a trace ID, latency, and search stage counters.
@@ -65,6 +73,9 @@ func main() {
 		variant     = flag.String("variant", "F-SIR", "FEXIPRO variant")
 		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		shards        = flag.Int("shards", 1, "catalog shards: >1 rebuilds only the owning shard per mutation and answers each query in parallel across shards (DESIGN.md §11)")
+		searchWorkers = flag.Int("search-workers", 0, "per-query goroutine pool when -shards > 1 (0 = GOMAXPROCS, clamped to -shards)")
 
 		timeout       = flag.Duration("timeout", 5*time.Second, "default per-request deadline for /v1/ routes (0 disables)")
 		maxTimeout    = flag.Duration("max-timeout", 30*time.Second, "cap on the effective per-request deadline, including X-Timeout-Ms overrides (0 = uncapped)")
@@ -108,6 +119,8 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		MaxConcurrent:     *maxConcurrent,
 		PartialOnDeadline: *partial,
+		Shards:            *shards,
+		SearchWorkers:     *searchWorkers,
 	})
 	if err != nil {
 		fatal(logger, "index build", err)
@@ -122,6 +135,7 @@ func main() {
 	logger.Info("startup",
 		"items", items.Rows, "dim", items.Cols, "variant", opts.Variant(),
 		"buildMillis", buildDur.Milliseconds(), "addr", *addr,
+		"shards", *shards, "searchWorkers", *searchWorkers,
 		"pprof", *enablePprof,
 		"timeout", timeout.String(), "maxTimeout", maxTimeout.String(),
 		"maxConcurrent", *maxConcurrent, "partialOnDeadline", *partial)

@@ -35,7 +35,7 @@ func LoadIndex(path string) (*FEXIPRO, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FEXIPRO{idx: idx, r: core.NewRetriever(idx)}, nil
+	return &FEXIPRO{idx: idx, r: core.NewRetriever(idx), shards: 1}, nil
 }
 
 // SearchAbove returns every item whose inner product with q is at least
@@ -78,13 +78,22 @@ func (l *LEMP) AboveJoin(queries *Matrix, t float64) [][]Result {
 // rebuilt automatically as changes accumulate. IDs returned by Search
 // are stable catalog IDs (initial row indices, then Add's return
 // values), and never resurrect deleted items.
+//
+// With Options.Shards > 1 the catalog is split into that many
+// independently indexed shards (stable mapping id mod Shards): a single
+// Add or Delete only ever rebuilds the one shard owning the item,
+// cutting the amortized rebuild cost ~Shards×, and queries fan out
+// across the shards through the sharded execution engine. Per-shard
+// preprocessing means scores match the monolithic index to float
+// tolerance rather than bitwise; they remain exact inner products.
 type Dynamic struct {
 	di *core.DynamicIndex
 }
 
 // NewDynamic starts a dynamic index from an initial catalog (it may have
 // zero rows, but must have a positive column count). opts selects the
-// FEXIPRO variant used for the indexed tier.
+// FEXIPRO variant used for the indexed tier plus the shard/worker
+// configuration.
 func NewDynamic(initial *Matrix, opts Options) (*Dynamic, error) {
 	variant := opts.Variant
 	if variant == "" {
@@ -96,12 +105,22 @@ func NewDynamic(initial *Matrix, opts Options) (*Dynamic, error) {
 	}
 	copts.Rho, copts.E, copts.W = opts.Rho, opts.E, opts.W
 	copts.CompactInts = opts.CompactInts
-	di, err := core.NewDynamicIndex(initial.m, copts, 0)
+	shards, workers := opts.Shards, opts.Workers
+	if shards < 1 {
+		shards = 1
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	di, err := core.NewDynamicIndexSharded(initial.m, copts, 0, shards, workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Dynamic{di: di}, nil
 }
+
+// Shards reports the number of independent catalog shards.
+func (d *Dynamic) Shards() int { return d.di.Shards() }
 
 // Add inserts an item, returning its stable catalog ID.
 func (d *Dynamic) Add(item []float64) (int, error) { return d.di.Add(item) }

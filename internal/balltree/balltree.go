@@ -155,50 +155,77 @@ func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Re
 	t.stats = search.Stats{}
 	c := topk.New(k)
 	if t.root != nil && k > 0 {
-		qNorm := vec.Norm(q)
-		if err := t.descend(ctx, t.root, q, qNorm, c); err != nil {
+		s := &scanState{t: t, ctx: ctx, q: q, qNorm: vec.Norm(q), c: c, hook: t.hook, stats: &t.stats}
+		if err := s.descend(t.root); err != nil {
 			return c.Results(), err
 		}
 	}
 	return c.Results(), nil
 }
 
-func (t *Tree) descend(ctx context.Context, n *node, q []float64, qNorm float64, c *topk.Collector) error {
-	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
-		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+// scanState carries one branch-and-bound descent's per-query inputs and
+// outputs, decoupled from the Tree so the same tree (or a per-shard
+// slice of trees) can be scanned by the sharded engine: the collector
+// and stats are externally owned, shared is the engine's cross-shard
+// monotone threshold (nil for single scans), and offset translates the
+// tree's local row IDs back to global item IDs.
+type scanState struct {
+	t      *Tree
+	ctx    context.Context
+	q      []float64
+	qNorm  float64
+	c      *topk.Collector
+	shared *search.SharedThreshold
+	hook   *faults.Hook
+	stats  *search.Stats
+	offset int
+}
+
+func (s *scanState) descend(n *node) error {
+	if done := s.ctx.Done(); s.hook != nil || (done != nil && s.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(s.ctx, s.hook, s.stats.NodesVisited); err != nil {
 			return err
 		}
 	}
-	t.stats.NodesVisited++
+	s.stats.NodesVisited++
+	t := s.t
 	if n.ids != nil {
 		for _, id := range n.ids {
-			t.stats.Scanned++
-			t.stats.FullProducts++
-			c.Push(id, vec.Dot(q, t.items.Row(id)))
+			s.stats.Scanned++
+			s.stats.FullProducts++
+			if s.c.Push(id+s.offset, vec.Dot(s.q, t.items.Row(id))) && s.c.Len() == s.c.K() {
+				s.shared.Publish(s.c.Threshold())
+			}
 		}
 		return nil
 	}
-	lb := t.bound(n.left, q, qNorm)
-	rb := t.bound(n.right, q, qNorm)
+	lb := t.bound(n.left, s.q, s.qNorm)
+	rb := t.bound(n.right, s.q, s.qNorm)
 	first, second := n.left, n.right
 	fb, sb := lb, rb
 	if rb > lb {
 		first, second = n.right, n.left
 		fb, sb = rb, lb
 	}
-	if fb > c.Threshold() {
-		if err := t.descend(ctx, first, q, qNorm, c); err != nil {
+	// Descend iff bound ≥ threshold: the prune is STRICT (bound < t), so
+	// every pruned item's exact score is strictly below the final k-th
+	// score and the retained set is invariant across shard layouts
+	// (DESIGN.md §11). The floor is re-read before each child so a
+	// sibling's pushes (or another shard's published threshold) tighten
+	// the second descent.
+	if fb >= s.shared.Floor(s.c.Threshold()) {
+		if err := s.descend(first); err != nil {
 			return err
 		}
 	} else {
-		t.stats.PrunedByLength += countItems(first)
+		s.stats.PrunedByLength += countItems(first)
 	}
-	if sb > c.Threshold() {
-		if err := t.descend(ctx, second, q, qNorm, c); err != nil {
+	if sb >= s.shared.Floor(s.c.Threshold()) {
+		if err := s.descend(second); err != nil {
 			return err
 		}
 	} else {
-		t.stats.PrunedByLength += countItems(second)
+		s.stats.PrunedByLength += countItems(second)
 	}
 	return nil
 }

@@ -29,7 +29,8 @@ func (r *Retriever) SearchAboveContext(ctx context.Context, q []float64, t float
 		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
 	}
 	r.stats = search.Stats{}
-	qs := r.prepareQuery(q)
+	idx.prepareQuery(q, r.qs)
+	qs := r.qs
 	slack := idx.opts.PruneSlack
 	done := ctx.Done()
 	hook := r.hook
@@ -53,7 +54,7 @@ func (r *Retriever) SearchAboveContext(ctx context.Context, q []float64, t float
 		r.stats.Scanned++
 		// The cascade prunes only when a bound drops BELOW t (strictly,
 		// minus the safety margin), so items with qᵀp == t survive.
-		v, ok := r.coordinateScan(i, qs, t, slack)
+		v, ok := idx.coordinateScan(i, qs, t, slack, &r.stats)
 		if ok && v >= t {
 			out = append(out, topk.Result{ID: idx.perm[i], Score: v})
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
 )
@@ -23,6 +25,15 @@ import (
 //
 // Results are returned in input order. workers ≤ 0 uses one worker.
 func BatchTopK(idx *Index, queries *vec.Matrix, k, workers int) ([][]topk.Result, error) {
+	return BatchTopKContext(context.Background(), idx, queries, k, workers)
+}
+
+// BatchTopKContext behaves like BatchTopK but honours ctx: on
+// cancellation it stops promptly and returns the per-query lists
+// completed so far (unprocessed slots stay nil; the query cut short
+// keeps its best-so-far partial) together with an ErrDeadline-wrapping
+// error. A nil error flags every list as exact.
+func BatchTopKContext(ctx context.Context, idx *Index, queries *vec.Matrix, k, workers int) ([][]topk.Result, error) {
 	if queries.Cols != idx.d {
 		return nil, fmt.Errorf("core: query dim %d != item dim %d", queries.Cols, idx.d)
 	}
@@ -40,27 +51,44 @@ func BatchTopK(idx *Index, queries *vec.Matrix, k, workers int) ([][]topk.Result
 	if workers == 1 || queries.Rows <= 1 {
 		r := NewRetriever(idx)
 		for _, qi := range order {
-			out[qi] = r.Search(queries.Row(qi), k)
+			res, err := r.SearchContext(ctx, queries.Row(qi), k)
+			out[qi] = res
+			if err != nil {
+				return out, search.Canceled(err)
+			}
 		}
 		return out, nil
 	}
 
 	var wg sync.WaitGroup
 	chunk := (len(order) + workers - 1) / workers
+	errs := make([]error, (len(order)+chunk-1)/chunk)
+	ci := 0
 	for lo := 0; lo < len(order); lo += chunk {
 		hi := lo + chunk
 		if hi > len(order) {
 			hi = len(order)
 		}
 		wg.Add(1)
-		go func(part []int) {
+		go func(part []int, slot *error) {
 			defer wg.Done()
 			r := NewRetriever(idx)
 			for _, qi := range part {
-				out[qi] = r.Search(queries.Row(qi), k)
+				res, err := r.SearchContext(ctx, queries.Row(qi), k)
+				out[qi] = res
+				if err != nil {
+					*slot = err
+					return
+				}
 			}
-		}(order[lo:hi])
+		}(order[lo:hi], &errs[ci])
+		ci++
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, search.Canceled(err) // first chunk's error: deterministic
+		}
+	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"fexipro/internal/engine"
 	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
@@ -13,42 +14,77 @@ import (
 
 // DynamicIndex serves exact top-k retrieval over an item catalog that
 // changes online — the deployment reality (new items arrive, items are
-// retired) that a preprocessed index must absorb. It is a two-tier
-// design: a preprocessed FEXIPRO index over the bulk of the catalog, a
-// small unindexed delta buffer scanned exhaustively, and a tombstone set
-// for deletions. When the delta or tombstones exceed RebuildFraction of
-// the indexed size the main index is rebuilt (amortized O(d²) per
-// update, the same bound as the paper's per-query transformation cost).
+// retired) that a preprocessed index must absorb.
+//
+// The catalog is split into S shards by the stable mapping
+// shard(id) = id mod S, and each shard is an independent two-tier
+// structure: a preprocessed FEXIPRO index over the bulk of the shard's
+// items, a small unindexed delta buffer scanned exhaustively, and
+// tombstones for deletions. When a shard's pending changes exceed
+// RebuildFraction of ITS indexed size, only that shard is rebuilt — an
+// Add or Delete never pays for more than 1/S of the catalog, dropping
+// the amortized rebuild cost by ~S× versus a monolithic index. Queries
+// fan out across the shards through the sharded execution engine
+// (DESIGN.md §11) and merge into the exact canonical global top-k.
+//
+// Unlike the static sharded kernels, per-shard preprocessing means each
+// shard applies its OWN SVD/scaling transform, so scores agree with a
+// monolithic index to within float tolerance but are not bit-comparable
+// across shard counts. Results are still exact: every returned score is
+// the item's verified inner product.
 type DynamicIndex struct {
 	opts    Options
 	d       int
 	rebuild float64
 
-	items      *vec.Matrix // full catalog in insertion order (live + dead)
-	dead       map[int]bool
-	deadCount  int // total live→dead transitions ever
-	deadInMain int // deletions hitting the current main index since its build
-	main       *Index
-	mainRet    *Retriever
-	mainIDs    []int // catalog IDs covered by main (ascending; positions = index rows)
-	delta      []int // catalog IDs not yet in main
-	deltaItems [][]float64
-	hook       *faults.Hook
-	stats      search.Stats
+	items     *vec.Matrix // full catalog in insertion order (live + dead)
+	dead      map[int]bool
+	deadCount int // total live→dead transitions ever
+
+	shards []*dynShard
+	eng    *engine.Engine
+	hook   *faults.Hook
+	stats  search.Stats
 }
 
-// DefaultRebuildFraction triggers a rebuild when pending changes exceed
-// 20% of the indexed items.
+// dynShard is one shard's two-tier state: its preprocessed main index
+// over the shard's bulk, the delta buffer of not-yet-indexed additions,
+// and the count of deletions hitting the current main since its build.
+type dynShard struct {
+	main       *Index
+	ret        *Retriever // for SearchAbove; shares main
+	mainIDs    []int      // catalog IDs covered by main (ascending; positions = index rows)
+	delta      []int      // catalog IDs not yet in main
+	deltaItems [][]float64
+	deadInMain int
+	rebuilds   int // number of times this shard's main index has been built
+}
+
+// DefaultRebuildFraction triggers a rebuild when a shard's pending
+// changes exceed 20% of its indexed items.
 const DefaultRebuildFraction = 0.2
 
-// NewDynamicIndex starts a dynamic index from an initial catalog (may be
-// empty: pass a 0×d matrix). rebuildFraction ≤ 0 selects the default.
+// NewDynamicIndex starts a single-shard dynamic index from an initial
+// catalog (may be empty: pass a 0×d matrix). rebuildFraction ≤ 0
+// selects the default.
 func NewDynamicIndex(initial *vec.Matrix, opts Options, rebuildFraction float64) (*DynamicIndex, error) {
+	return NewDynamicIndexSharded(initial, opts, rebuildFraction, 1, 1)
+}
+
+// NewDynamicIndexSharded starts a dynamic index with `shards`
+// independent catalog shards (values < 1 mean 1) queried through a pool
+// of `workers` goroutines (clamped like engine.New). More shards cut
+// the amortized rebuild cost of Add/Delete by ~shards×; single-item
+// updates only ever rebuild the one shard that owns the item.
+func NewDynamicIndexSharded(initial *vec.Matrix, opts Options, rebuildFraction float64, shards, workers int) (*DynamicIndex, error) {
 	if initial.Cols <= 0 {
 		return nil, fmt.Errorf("core: dynamic index needs a positive dimension, got %d", initial.Cols)
 	}
 	if rebuildFraction <= 0 {
 		rebuildFraction = DefaultRebuildFraction
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	di := &DynamicIndex{
 		opts:    opts.withDefaults(),
@@ -56,10 +92,17 @@ func NewDynamicIndex(initial *vec.Matrix, opts Options, rebuildFraction float64)
 		rebuild: rebuildFraction,
 		items:   initial.Clone(),
 		dead:    make(map[int]bool),
+		shards:  make([]*dynShard, shards),
 	}
+	for s := range di.shards {
+		di.shards[s] = &dynShard{}
+	}
+	di.eng = engine.New(&dynKernel{di: di}, workers)
 	if initial.Rows > 0 {
-		if err := di.rebuildMain(); err != nil {
-			return nil, err
+		for s := range di.shards {
+			if err := di.rebuildShard(s); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return di, nil
@@ -68,7 +111,27 @@ func NewDynamicIndex(initial *vec.Matrix, opts Options, rebuildFraction float64)
 // Len returns the number of live items.
 func (di *DynamicIndex) Len() int { return di.items.Rows - di.deadCount }
 
-// Add inserts an item and returns its stable catalog ID.
+// Shards returns the number of catalog shards.
+func (di *DynamicIndex) Shards() int { return len(di.shards) }
+
+// Rebuilds returns, per shard, how many times that shard's main index
+// has been built (including the initial build). The sum across shards
+// measures total rebuild work: with S shards a stream of updates
+// triggers ~the same TOTAL number of rebuilds, but each one costs only
+// ~1/S of a monolithic rebuild.
+func (di *DynamicIndex) Rebuilds() []int {
+	out := make([]int, len(di.shards))
+	for s, sh := range di.shards {
+		out[s] = sh.rebuilds
+	}
+	return out
+}
+
+// shardOf returns the shard owning catalog ID id (stable mapping).
+func (di *DynamicIndex) shardOf(id int) *dynShard { return di.shards[id%len(di.shards)] }
+
+// Add inserts an item and returns its stable catalog ID. Only the
+// owning shard (id mod Shards) absorbs the update or rebuilds.
 func (di *DynamicIndex) Add(item []float64) (int, error) {
 	if len(item) != di.d {
 		return 0, fmt.Errorf("core: item dim %d != %d", len(item), di.d)
@@ -83,13 +146,14 @@ func (di *DynamicIndex) Add(item []float64) (int, error) {
 	copy(grown.Data, di.items.Data)
 	copy(grown.Row(id), item)
 	di.items = grown
-	di.delta = append(di.delta, id)
-	di.deltaItems = append(di.deltaItems, vec.Clone(item))
-	return id, di.maybeRebuild()
+	sh := di.shardOf(id)
+	sh.delta = append(sh.delta, id)
+	sh.deltaItems = append(sh.deltaItems, vec.Clone(item))
+	return id, di.maybeRebuild(id % len(di.shards))
 }
 
 // Delete retires an item by catalog ID. Deleting an unknown or already
-// deleted ID is an error.
+// deleted ID is an error. Only the owning shard can be rebuilt.
 func (di *DynamicIndex) Delete(id int) error {
 	if id < 0 || id >= di.items.Rows {
 		return fmt.Errorf("core: delete of unknown item %d", id)
@@ -99,22 +163,23 @@ func (di *DynamicIndex) Delete(id int) error {
 	}
 	di.dead[id] = true
 	di.deadCount++
-	if di.inMain(id) {
-		di.deadInMain++
+	sh := di.shardOf(id)
+	if sh.inMain(id) {
+		sh.deadInMain++
 	}
-	return di.maybeRebuild()
+	return di.maybeRebuild(id % len(di.shards))
 }
 
-// inMain reports whether a catalog ID is covered by the current main
-// index (mainIDs is ascending by construction).
-func (di *DynamicIndex) inMain(id int) bool {
-	lo, hi := 0, len(di.mainIDs)
+// inMain reports whether a catalog ID is covered by the shard's current
+// main index (mainIDs is ascending by construction).
+func (sh *dynShard) inMain(id int) bool {
+	lo, hi := 0, len(sh.mainIDs)
 	for lo < hi {
 		mid := (lo + hi) / 2
 		switch {
-		case di.mainIDs[mid] == id:
+		case sh.mainIDs[mid] == id:
 			return true
-		case di.mainIDs[mid] < id:
+		case sh.mainIDs[mid] < id:
 			lo = mid + 1
 		default:
 			hi = mid
@@ -123,29 +188,34 @@ func (di *DynamicIndex) inMain(id int) bool {
 	return false
 }
 
-func (di *DynamicIndex) maybeRebuild() error {
-	mainSize := len(di.mainIDs)
-	pending := len(di.delta) + di.deadInMain
+// maybeRebuild rebuilds shard s when its pending changes exceed the
+// rebuild fraction of its own indexed size.
+func (di *DynamicIndex) maybeRebuild(s int) error {
+	sh := di.shards[s]
+	mainSize := len(sh.mainIDs)
+	pending := len(sh.delta) + sh.deadInMain
 	if mainSize == 0 || float64(pending) > di.rebuild*float64(mainSize) {
-		return di.rebuildMain()
+		return di.rebuildShard(s)
 	}
 	return nil
 }
 
-// rebuildMain folds the delta and drops tombstones into a fresh
-// preprocessed index.
-func (di *DynamicIndex) rebuildMain() error {
-	live := make([]int, 0, di.Len())
-	for id := 0; id < di.items.Rows; id++ {
+// rebuildShard folds shard s's delta and drops its tombstones into a
+// fresh preprocessed index over only that shard's live items.
+func (di *DynamicIndex) rebuildShard(s int) error {
+	sh := di.shards[s]
+	S := len(di.shards)
+	live := make([]int, 0, (di.items.Rows+S-1)/S)
+	for id := s; id < di.items.Rows; id += S {
 		if !di.dead[id] {
 			live = append(live, id)
 		}
 	}
-	di.delta = nil
-	di.deltaItems = nil
-	di.deadInMain = 0
+	sh.delta = nil
+	sh.deltaItems = nil
+	sh.deadInMain = 0
 	if len(live) == 0 {
-		di.main, di.mainRet, di.mainIDs = nil, nil, nil
+		sh.main, sh.ret, sh.mainIDs = nil, nil, nil
 		return nil
 	}
 	compact := vec.NewMatrix(len(live), di.d)
@@ -156,24 +226,118 @@ func (di *DynamicIndex) rebuildMain() error {
 	if err != nil {
 		return err
 	}
-	di.main = idx
-	di.mainRet = NewRetriever(idx)
-	di.mainRet.SetFaultHook(di.hook)
-	di.mainIDs = live
+	sh.main = idx
+	sh.ret = NewRetriever(idx)
+	sh.ret.SetFaultHook(di.hook)
+	sh.mainIDs = live
+	sh.rebuilds++
 	// Tombstones for pre-rebuild IDs are now compacted away, but keep
 	// the dead set for ID-validity checks.
 	return nil
 }
 
 // SetFaultHook installs (or, with nil, removes) the fault-injection hook
-// called once per scanned item in both the delta buffer and the main
-// index; it survives rebuilds.
+// called once per scanned item in both the delta buffers and the main
+// indexes (shard-locally); it survives rebuilds.
 func (di *DynamicIndex) SetFaultHook(h *faults.Hook) {
 	di.hook = h
-	if di.mainRet != nil {
-		di.mainRet.SetFaultHook(h)
+	di.eng.SetFaultHook(h)
+	for _, sh := range di.shards {
+		if sh.ret != nil {
+			sh.ret.SetFaultHook(h)
+		}
 	}
 }
+
+// SetShardObserver installs (or, with nil, removes) the engine's
+// per-shard scan observer — one callback per completed shard scan with
+// the shard index, its wall time, and its stage counters. Serving
+// layers use it to expose per-shard latency (obs.ShardScanObserver).
+func (di *DynamicIndex) SetShardObserver(o engine.Observer) { di.eng.SetObserver(o) }
+
+// dynKernel routes DynamicIndex queries through the sharded execution
+// engine: each shard scan covers one catalog shard's delta buffer and
+// its main index, filtering tombstones and remapping index rows to
+// stable catalog IDs before offering candidates.
+type dynKernel struct {
+	di *DynamicIndex
+}
+
+// dynQuery is the per-query state: the raw query for delta dots, plus
+// one prepared FEXIPRO query state per shard with a main index (each
+// shard's transform differs, so the states are per-shard).
+type dynQuery struct {
+	q      []float64
+	states []*queryState
+}
+
+// Shards implements engine.Kernel.
+func (k *dynKernel) Shards() int { return len(k.di.shards) }
+
+// Prepare implements engine.Kernel.
+func (k *dynKernel) Prepare(q []float64) any {
+	if len(q) != k.di.d {
+		panic(fmt.Sprintf("core: query dim %d != %d", len(q), k.di.d))
+	}
+	dq := &dynQuery{q: q, states: make([]*queryState, len(k.di.shards))}
+	for s, sh := range k.di.shards {
+		if sh.main != nil {
+			qs := sh.main.newQueryState()
+			sh.main.prepareQuery(q, qs)
+			dq.states[s] = qs
+		}
+	}
+	return dq
+}
+
+// Scan implements engine.Kernel: shard s's delta buffer exhaustively,
+// then its main index with a (k + deadInMain) over-fetch so tombstoned
+// rows inside main cannot starve the live result set. Poll/fault
+// indices are shard-local.
+func (k *dynKernel) Scan(ctx context.Context, pq any, shard int, c *topk.Collector, shared *search.SharedThreshold, hook *faults.Hook) (search.Stats, error) {
+	di := k.di
+	sh := di.shards[shard]
+	dq := pq.(*dynQuery)
+	var st search.Stats
+	done := ctx.Done()
+	for pos, id := range sh.delta {
+		if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, pos); err != nil {
+				return st, err
+			}
+		}
+		if di.dead[id] {
+			continue
+		}
+		st.Scanned++
+		st.FullProducts++
+		if c.Push(id, vec.Dot(dq.q, sh.deltaItems[pos])) && c.Len() == c.K() {
+			shared.Publish(c.Threshold())
+		}
+	}
+	if sh.main == nil {
+		return st, nil
+	}
+	// The inner collector's (k + deadInMain)-th threshold is still a
+	// valid global lower bound — at most deadInMain of its retained
+	// items are dead, so at least k live items score at or above it —
+	// which lets the main scan both publish to and prune against the
+	// engine's shared threshold.
+	inner := topk.New(c.K() + sh.deadInMain)
+	err := sh.main.scanRange(ctx, hook, dq.states[shard], 0, sh.main.n, inner, shared, &st)
+	for _, r := range inner.Results() {
+		id := sh.mainIDs[r.ID]
+		if di.dead[id] {
+			continue
+		}
+		if c.Push(id, r.Score) && c.Len() == c.K() {
+			shared.Publish(c.Threshold())
+		}
+	}
+	return st, err
+}
+
+var _ engine.Kernel = (*dynKernel)(nil)
 
 // Search returns the exact top-k over the live catalog; IDs are the
 // stable catalog IDs returned by Add (or initial row indices).
@@ -182,49 +346,21 @@ func (di *DynamicIndex) Search(q []float64, k int) []topk.Result {
 	return res
 }
 
-// SearchContext implements search.ContextSearcher: both tiers poll ctx
-// and a cancellation returns the best-so-far partial top-k with an
+// SearchContext implements search.ContextSearcher: all shards (delta
+// buffers and main indexes) poll ctx and a cancellation merges every
+// shard's best-so-far into a partial top-k returned with an
 // ErrDeadline-wrapping error.
 func (di *DynamicIndex) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	if len(q) != di.d {
 		panic(fmt.Sprintf("core: query dim %d != %d", len(q), di.d))
 	}
 	di.stats = search.Stats{}
-	c := topk.New(k)
-	done := ctx.Done()
-	hook := di.hook
-	// Scan the (small) delta buffer exhaustively first.
-	for pos, id := range di.delta {
-		if hook != nil || (done != nil && pos&search.StrideMask == 0) {
-			if err := search.Poll(ctx, hook, pos); err != nil {
-				return c.Results(), err
-			}
-		}
-		if di.dead[id] {
-			continue
-		}
-		di.stats.Scanned++
-		di.stats.FullProducts++
-		c.Push(id, vec.Dot(q, di.deltaItems[pos]))
+	if k <= 0 {
+		return nil, nil
 	}
-	if di.mainRet != nil {
-		// Over-fetch so tombstoned rows inside main cannot starve the
-		// result set.
-		need := k + di.deadInMain
-		res, err := di.mainRet.SearchContext(ctx, q, need)
-		for _, r := range res {
-			id := di.mainIDs[r.ID]
-			if di.dead[id] {
-				continue
-			}
-			c.Push(id, r.Score)
-		}
-		di.stats.Add(di.mainRet.Stats())
-		if err != nil {
-			return c.Results(), err
-		}
-	}
-	return c.Results(), nil
+	res, err := di.eng.SearchContext(ctx, q, k)
+	di.stats = di.eng.Stats()
+	return res, err
 }
 
 // SearchAbove returns every live item with qᵀp ≥ t, sorted by descending
@@ -234,8 +370,8 @@ func (di *DynamicIndex) SearchAbove(q []float64, t float64) []topk.Result {
 	return res
 }
 
-// SearchAboveContext behaves like SearchAbove but honours ctx in both
-// tiers, returning the sorted partial result set with an
+// SearchAboveContext behaves like SearchAbove but honours ctx in every
+// shard, returning the sorted partial result set with an
 // ErrDeadline-wrapping error on cancellation.
 func (di *DynamicIndex) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]topk.Result, error) {
 	if len(q) != di.d {
@@ -245,32 +381,35 @@ func (di *DynamicIndex) SearchAboveContext(ctx context.Context, q []float64, t f
 	done := ctx.Done()
 	hook := di.hook
 	var out []topk.Result
-	for pos, id := range di.delta {
-		if hook != nil || (done != nil && pos&search.StrideMask == 0) {
-			if err := search.Poll(ctx, hook, pos); err != nil {
-				topk.SortResults(out)
-				return out, err
+	for _, sh := range di.shards {
+		for pos, id := range sh.delta {
+			if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+				if err := search.Poll(ctx, hook, pos); err != nil {
+					topk.SortResults(out)
+					return out, err
+				}
+			}
+			if di.dead[id] {
+				continue
+			}
+			di.stats.Scanned++
+			di.stats.FullProducts++
+			if v := vec.Dot(q, sh.deltaItems[pos]); v >= t {
+				out = append(out, topk.Result{ID: id, Score: v})
 			}
 		}
-		if di.dead[id] {
+		if sh.ret == nil {
 			continue
 		}
-		di.stats.Scanned++
-		di.stats.FullProducts++
-		if v := vec.Dot(q, di.deltaItems[pos]); v >= t {
-			out = append(out, topk.Result{ID: id, Score: v})
-		}
-	}
-	if di.mainRet != nil {
-		res, err := di.mainRet.SearchAboveContext(ctx, q, t)
+		res, err := sh.ret.SearchAboveContext(ctx, q, t)
 		for _, r := range res {
-			id := di.mainIDs[r.ID]
+			id := sh.mainIDs[r.ID]
 			if di.dead[id] {
 				continue
 			}
 			out = append(out, topk.Result{ID: id, Score: r.Score})
 		}
-		di.stats.Add(di.mainRet.Stats())
+		di.stats.Add(sh.ret.Stats())
 		if err != nil {
 			topk.SortResults(out)
 			return out, err
@@ -280,7 +419,12 @@ func (di *DynamicIndex) SearchAboveContext(ctx context.Context, q []float64, t f
 	return out, nil
 }
 
-// Stats implements search.Searcher.
+// Stats implements search.Searcher with the same per-query semantics as
+// Retriever.Stats(): the counters cover ONLY the most recent
+// Search/SearchContext/SearchAbove/SearchAboveContext call (they are
+// reset at the start of each query and are NOT cumulative across
+// queries). For sharded instances the counters are the sum over every
+// shard's delta and main scans for that one query.
 func (di *DynamicIndex) Stats() search.Stats { return di.stats }
 
 var _ search.ContextSearcher = (*DynamicIndex)(nil)

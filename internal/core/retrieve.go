@@ -14,28 +14,23 @@ import (
 // Retriever executes top-k queries against an Index (Algorithm 4). Each
 // Retriever owns scratch buffers and stats for one query at a time, so
 // concurrent queries need separate Retrievers over the same shared Index.
+//
+// Since the sharded-execution refactor the Retriever is a thin wrapper:
+// all query preparation and scanning lives on the Index as
+// prepareQuery / scanRange, parameterized by a queryState (per-query
+// scratch) and an explicit row range, so the same code path serves both
+// this single-scan Retriever (range [0, n), no shared threshold) and
+// the per-shard kernel in Sharded (sub-ranges, shared threshold).
 type Retriever struct {
 	idx   *Index
 	hook  *faults.Hook
 	stats search.Stats
-
-	// scratch, reused across queries
-	qbar      []float64
-	qFloors   []int32
-	qFloors16 []int16
+	qs    *queryState
 }
 
 // NewRetriever returns a query executor for the index.
 func NewRetriever(idx *Index) *Retriever {
-	r := &Retriever{idx: idx, qbar: make([]float64, idx.d)}
-	if id := idx.ints; id != nil {
-		if id.floors16 != nil {
-			r.qFloors16 = make([]int16, idx.d)
-		} else {
-			r.qFloors = make([]int32, idx.d)
-		}
-	}
-	return r
+	return &Retriever{idx: idx, qs: idx.newQueryState()}
 }
 
 // Stats implements search.Searcher for the most recent query.
@@ -46,8 +41,17 @@ func (r *Retriever) Stats() search.Stats { return r.stats }
 func (r *Retriever) SetFaultHook(h *faults.Hook) { r.hook = h }
 
 // queryState holds the per-query derived quantities of Algorithm 4
-// lines 5–9.
+// lines 5–9 plus the scratch buffers they are computed into. It is
+// written once per query by Index.prepareQuery and then read-only
+// during the scan, so a single queryState may be shared by any number
+// of concurrent scanRange calls over disjoint row ranges.
 type queryState struct {
+	// Scratch owned by this state (sized for the index it was created
+	// for via Index.newQueryState).
+	qbar      []float64
+	qFloors   []int32
+	qFloors16 []int16
+
 	qNorm   float64 // ‖q‖ in the original space (used with the original ‖p‖ for Cauchy–Schwarz)
 	barNorm float64 // ‖q̄‖ in the working space
 	barTail float64 // ‖q̄^h‖ over coordinates w..d
@@ -65,6 +69,19 @@ type queryState struct {
 	headConstQ float64 // (2/‖q̄‖)·Σ_{s<w} c_s·q̄_s
 	hhTailQ    float64 // ‖q̂̂^h‖ = 2·sqrt(Σ_{s≥w}(q̄_s/‖q̄‖+c_s)²)
 	kq         float64 // affine offset of the threshold map t → t′
+}
+
+// newQueryState allocates per-query scratch sized for this index.
+func (idx *Index) newQueryState() *queryState {
+	qs := &queryState{qbar: make([]float64, idx.d)}
+	if id := idx.ints; id != nil {
+		if id.floors16 != nil {
+			qs.qFloors16 = make([]int16, idx.d)
+		} else {
+			qs.qFloors = make([]int32, idx.d)
+		}
+	}
+	return qs
 }
 
 // Search returns the exact top-k inner products of q with the indexed
@@ -85,55 +102,90 @@ func (r *Retriever) SearchContext(ctx context.Context, q []float64, k int) ([]to
 		panic(fmt.Sprintf("core: query dim %d != item dim %d", len(q), idx.d))
 	}
 	r.stats = search.Stats{}
-	c := topk.New(k)
 	if k <= 0 {
 		return nil, nil
 	}
-
-	qs := r.prepareQuery(q)
-	slack := idx.opts.PruneSlack
-	done := ctx.Done()
-	hook := r.hook
-
-	for i := 0; i < idx.n; i++ {
-		if hook != nil || (done != nil && i&search.StrideMask == 0) {
-			if err := search.Poll(ctx, hook, i); err != nil {
-				return c.Results(), err
-			}
-		}
-		t := c.Threshold()
-		if qs.qNorm*idx.norms[i] <= t {
-			if !idx.opts.Unsorted {
-				// Sorted by length: nothing later can qualify either.
-				r.stats.PrunedByLength += idx.n - i
-				break
-			}
-			r.stats.PrunedByLength++
-			continue
-		}
-		r.stats.Scanned++
-		v, ok := r.coordinateScan(i, qs, t, slack)
-		if ok && v > t {
-			c.Push(idx.perm[i], v)
-		}
+	c := topk.New(k)
+	idx.prepareQuery(q, r.qs)
+	if err := idx.scanRange(ctx, r.hook, r.qs, 0, idx.n, c, nil, &r.stats); err != nil {
+		return c.Results(), err
 	}
 	return c.Results(), nil
 }
 
+// scanRange runs Algorithm 4's scan loop over the sorted rows [lo, hi),
+// offering survivors to c. It is the shared engine between the
+// single-scan Retriever (lo=0, hi=n, shared=nil) and one shard of a
+// Sharded kernel (a contiguous sub-range plus the cross-shard
+// threshold). The range being contiguous in the norm-sorted order is
+// what keeps the sorted-scan length break valid within a shard.
+//
+// Pruning is STRICT — a candidate is discarded only when its upper
+// bound is strictly below the effective threshold — so together with
+// the collector's canonical (score desc, ID asc) tie order, the set of
+// surviving candidates is independent of how [0, n) is partitioned:
+// anything pruned has score < t ≤ final k-th score and therefore ranks
+// canonically below k retained items. shared, when non-nil, can only
+// RAISE the effective threshold with published full-heap thresholds
+// from other shards, which are themselves global lower bounds, so the
+// argument is unchanged.
+//
+// ctx is polled every search.CheckStride items at SHARD-LOCAL indices
+// (i−lo), so every shard polls on its first item and fault-hook
+// CancelAtItem plans fire relative to each shard's own progress. On
+// cancellation the error wraps search.ErrDeadline and c holds
+// best-so-far results whose scores are true (working-space) inner
+// products.
+func (idx *Index) scanRange(ctx context.Context, hook *faults.Hook, qs *queryState, lo, hi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
+	slack := idx.opts.PruneSlack
+	done := ctx.Done()
+	for i := lo; i < hi; i++ {
+		local := i - lo
+		if hook != nil || (done != nil && local&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, local); err != nil {
+				return err
+			}
+		}
+		t := shared.Floor(c.Threshold())
+		if qs.qNorm*idx.norms[i] < t {
+			if !idx.opts.Unsorted {
+				// Sorted by length: nothing later in this range can
+				// qualify either.
+				stats.PrunedByLength += hi - i
+				return nil
+			}
+			stats.PrunedByLength++
+			continue
+		}
+		stats.Scanned++
+		v, ok := idx.coordinateScan(i, qs, t, slack, stats)
+		if ok {
+			// The collector applies the canonical threshold test itself
+			// (strictly-better-than-root in (score desc, ID asc) order);
+			// publish the tightened threshold for sibling shards once
+			// the heap is full.
+			if c.Push(idx.perm[i], v) && c.Len() == c.K() {
+				shared.Publish(c.Threshold())
+			}
+		}
+	}
+	return nil
+}
+
 // prepareQuery transforms q into the working space and precomputes every
-// per-query constant used by the staged pruning tests.
-func (r *Retriever) prepareQuery(q []float64) queryState {
-	idx := r.idx
-	var qs queryState
+// per-query constant used by the staged pruning tests, writing into qs.
+func (idx *Index) prepareQuery(q []float64, qs *queryState) {
+	scratch := *qs
+	*qs = queryState{qbar: scratch.qbar, qFloors: scratch.qFloors, qFloors16: scratch.qFloors16}
 	qs.qNorm = vec.Norm(q)
 
 	if idx.thin != nil {
 		bar := idx.thin.TransformQuery(q)
-		copy(r.qbar, bar)
+		copy(qs.qbar, bar)
 	} else {
-		copy(r.qbar, q)
+		copy(qs.qbar, q)
 	}
-	qbar := r.qbar
+	qbar := qs.qbar
 	qs.barNorm = vec.Norm(qbar)
 	qs.barTail = vec.NormRange(qbar, idx.w, idx.d)
 
@@ -153,10 +205,10 @@ func (r *Retriever) prepareQuery(q []float64) queryState {
 				}
 			}
 			f := int32(math.Floor(scaled))
-			if r.qFloors16 != nil {
-				r.qFloors16[s] = int16(f)
+			if qs.qFloors16 != nil {
+				qs.qFloors16[s] = int16(f)
 			} else {
-				r.qFloors[s] = f
+				qs.qFloors[s] = f
 			}
 			a := int64(f)
 			if a < 0 {
@@ -189,16 +241,16 @@ func (r *Retriever) prepareQuery(q []float64) queryState {
 		qs.hhTailQ = 2 * math.Sqrt(tailSq)
 		qs.kq = -rd.b*rd.b + rd.sumC2 + 2*sumCQ*qs.invBarNorm
 	}
-	return qs
 }
 
 // coordinateScan is Algorithm 5: the staged pruning cascade for one
 // candidate. It returns the exact working-space product and true, or
-// (0, false) when the candidate was pruned.
-func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (float64, bool) {
-	idx := r.idx
+// (0, false) when the candidate was pruned. Every prune test is STRICT
+// (`< t − margin`), matching scanRange's invariant that pruned items
+// have score strictly below the threshold.
+func (idx *Index) coordinateScan(i int, qs *queryState, t, slack float64, stats *search.Stats) (float64, bool) {
 	w, d := idx.w, idx.d
-	qbar := r.qbar
+	qbar := qs.qbar
 	row := idx.bar.Row(i)
 	margin := slack * (math.Abs(t) + 1)
 	ub1 := qs.barTail * idx.barTail[i]
@@ -209,17 +261,17 @@ func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (floa
 	var bHead float64
 	if qs.intOK && !idx.opts.ReductionFirst {
 		id := idx.ints
-		iuHead := r.intDot(i, 0, w) + qs.qSumAbsHead + id.sumAbsHead[i] + int64(w)
+		iuHead := idx.intDot(qs, i, 0, w) + qs.qSumAbsHead + id.sumAbsHead[i] + int64(w)
 		bHead = float64(iuHead) * qs.headFactor
-		if bHead+ub1 <= t-margin {
-			r.stats.PrunedByIntHead++
+		if bHead+ub1 < t-margin {
+			stats.PrunedByIntHead++
 			return 0, false
 		}
 		if w < d {
-			iuTail := r.intDot(i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
+			iuTail := idx.intDot(qs, i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
 			bTail := float64(iuTail) * qs.tailFactor
-			if bHead+bTail <= t-margin {
-				r.stats.PrunedByIntFull++
+			if bHead+bTail < t-margin {
+				stats.PrunedByIntFull++
 				return 0, false
 			}
 		}
@@ -227,12 +279,12 @@ func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (floa
 
 	// Lines 9–13: exact partial product + Eq. 1 incremental pruning.
 	if w >= d {
-		r.stats.FullProducts++
+		stats.FullProducts++
 		return vec.Dot(qbar, row), true
 	}
 	v := vec.DotRange(qbar, row, 0, w)
-	if v+ub1 <= t-margin {
-		r.stats.PrunedByIncremental++
+	if v+ub1 < t-margin {
+		stats.PrunedByIncremental++
 		return 0, false
 	}
 
@@ -244,8 +296,8 @@ func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (floa
 		if !math.IsInf(t, -1) {
 			tPrime := 2*t*qs.invBarNorm + qs.kq
 			hhMargin := slack * (math.Abs(tPrime) + 1)
-			if hhPartial+ub2 <= tPrime-hhMargin {
-				r.stats.PrunedByMonotone++
+			if hhPartial+ub2 < tPrime-hhMargin {
+				stats.PrunedByMonotone++
 				return 0, false
 			}
 		}
@@ -255,29 +307,29 @@ func (r *Retriever) coordinateScan(i int, qs queryState, t, slack float64) (floa
 	// integer bound can still avoid the remaining d−w multiplications.
 	if qs.intOK && idx.opts.ReductionFirst {
 		id := idx.ints
-		iuTail := r.intDot(i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
+		iuTail := idx.intDot(qs, i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
 		bTail := float64(iuTail) * qs.tailFactor
-		if v+bTail <= t-margin {
-			r.stats.PrunedByIntFull++
+		if v+bTail < t-margin {
+			stats.PrunedByIntFull++
 			return 0, false
 		}
 	}
 
 	// Lines 18–20: finish the exact product.
-	r.stats.FullProducts++
+	stats.FullProducts++
 	return v + vec.DotRange(qbar, row, w, d), true
 }
 
 // intDot computes ⌊q̂⌋·⌊p̂ᵢ⌋ over coordinates [lo,hi) against either the
 // int32 or the compact int16 floor storage.
-func (r *Retriever) intDot(i, lo, hi int) int64 {
-	d := r.idx.d
-	id := r.idx.ints
+func (idx *Index) intDot(qs *queryState, i, lo, hi int) int64 {
+	d := idx.d
+	id := idx.ints
 	base := i * d
 	if id.floors16 != nil {
-		return vec.DotInt16(r.qFloors16[lo:hi], id.floors16[base+lo:base+hi])
+		return vec.DotInt16(qs.qFloors16[lo:hi], id.floors16[base+lo:base+hi])
 	}
-	return vec.DotInt64(r.qFloors[lo:hi], id.floors[base+lo:base+hi])
+	return vec.DotInt64(qs.qFloors[lo:hi], id.floors[base+lo:base+hi])
 }
 
 var _ search.ContextSearcher = (*Retriever)(nil)

@@ -164,36 +164,63 @@ func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Re
 	t.stats = search.Stats{}
 	c := topk.New(k)
 	if t.root != nil && k > 0 {
-		if err := t.descend(ctx, t.root, q, vec.Norm(q), c); err != nil {
+		s := &scanState{t: t, ctx: ctx, q: q, qNorm: vec.Norm(q), c: c, hook: t.hook, stats: &t.stats}
+		if err := s.descend(t.root); err != nil {
 			return c.Results(), err
 		}
 	}
 	return c.Results(), nil
 }
 
-func (t *Tree) descend(ctx context.Context, n *node, q []float64, qNorm float64, c *topk.Collector) error {
-	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
-		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+// scanState carries one branch-and-bound descent's per-query inputs and
+// outputs, decoupled from the Tree so per-shard trees can be scanned by
+// the sharded engine: the collector and stats are externally owned,
+// shared is the engine's cross-shard monotone threshold (nil for single
+// scans), and offset translates the tree's local row IDs back to global
+// item IDs.
+type scanState struct {
+	t      *Tree
+	ctx    context.Context
+	q      []float64
+	qNorm  float64
+	c      *topk.Collector
+	shared *search.SharedThreshold
+	hook   *faults.Hook
+	stats  *search.Stats
+	offset int
+}
+
+func (s *scanState) descend(n *node) error {
+	if done := s.ctx.Done(); s.hook != nil || (done != nil && s.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(s.ctx, s.hook, s.stats.NodesVisited); err != nil {
 			return err
 		}
 	}
-	t.stats.NodesVisited++
+	s.stats.NodesVisited++
+	t := s.t
 	if n.leafIDs != nil {
 		for _, id := range n.leafIDs {
-			t.stats.Scanned++
-			t.stats.FullProducts++
-			c.Push(id, vec.Dot(q, t.items.Row(id)))
+			s.stats.Scanned++
+			s.stats.FullProducts++
+			if s.c.Push(id+s.offset, vec.Dot(s.q, t.items.Row(id))) && s.c.Len() == s.c.K() {
+				s.shared.Publish(s.c.Threshold())
+			}
 		}
 		return nil
 	}
-	// Order children by decreasing bound, prune those below threshold.
+	// Order children by decreasing bound; prune STRICTLY (bound < t), so
+	// every pruned item's exact score is strictly below the final global
+	// k-th score and the retained set is invariant across shard layouts
+	// (DESIGN.md §11). The threshold floor is re-read before each child
+	// so earlier siblings' pushes — or another shard's published
+	// threshold — tighten later prunes.
 	type scored struct {
 		child *node
 		bound float64
 	}
 	order := make([]scored, 0, len(n.children))
 	for _, ch := range n.children {
-		b := vec.Dot(q, t.items.Row(ch.id)) + qNorm*ch.maxDescDist
+		b := vec.Dot(s.q, t.items.Row(ch.id)) + s.qNorm*ch.maxDescDist
 		order = append(order, scored{ch, b})
 	}
 	for i := 1; i < len(order); i++ {
@@ -201,12 +228,12 @@ func (t *Tree) descend(ctx context.Context, n *node, q []float64, qNorm float64,
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	for _, s := range order {
-		if s.bound <= c.Threshold() {
-			t.stats.PrunedByLength += s.child.size
+	for _, sc := range order {
+		if sc.bound < s.shared.Floor(s.c.Threshold()) {
+			s.stats.PrunedByLength += sc.child.size
 			continue
 		}
-		if err := t.descend(ctx, s.child, q, qNorm, c); err != nil {
+		if err := s.descend(sc.child); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fexipro/internal/faults"
+	"fexipro/internal/search"
+	"fexipro/internal/topk"
+)
+
+// Kernel is the per-shard scan contract. A kernel owns a partitioned
+// index (built once, read-only at query time) and knows how to scan one
+// shard of it. The engine calls Prepare once per query and then Scan
+// concurrently for distinct shards, so Scan must not mutate kernel
+// state — all per-query scratch lives in the value returned by Prepare
+// plus the per-shard collector the engine supplies.
+type Kernel interface {
+	// Shards returns the number of shards the kernel was built with.
+	Shards() int
+
+	// Prepare computes the per-query state shared READ-ONLY by every
+	// shard scan (e.g. the SVD-transformed query, its norm, integer
+	// floors). It must panic on dimension mismatch, matching the
+	// single-scan searchers. The engine passes the returned value to
+	// every Scan call for this query, from multiple goroutines, without
+	// further synchronization.
+	Prepare(q []float64) any
+
+	// Scan runs the shard's part of the query: it offers candidates to
+	// c (a collector private to this shard) and may tighten its pruning
+	// with shared.Floor / contribute via shared.Publish once c is full.
+	// On cancellation it returns an ErrDeadline-wrapping error after
+	// leaving c with best-so-far results whose scores are true inner
+	// products. hook, when non-nil, is the fault-injection hook to pass
+	// to search.Poll with SHARD-LOCAL item indices (so CancelAtItem
+	// fires relative to each shard's own scan). The returned Stats
+	// count only this shard's work; the engine aggregates.
+	Scan(ctx context.Context, pq any, shard int, c *topk.Collector, shared *search.SharedThreshold, hook *faults.Hook) (search.Stats, error)
+}
+
+// Observer receives one callback per completed shard scan (successful
+// or cancelled) with the shard index, its wall-clock scan time, and its
+// per-shard stage counters. The engine invokes it from worker
+// goroutines, possibly concurrently; implementations must be
+// thread-safe (the obs registry's histograms are).
+type Observer func(shard int, seconds float64, st search.Stats)
+
+// Engine fans a single query out across the shards of a Kernel using a
+// bounded worker pool, then merges the per-shard heaps into the exact
+// canonical global top-k. It implements search.ContextSearcher.
+//
+// Exactness across shard counts: every kernel in this repository offers
+// an S-invariant candidate multiset (each shard's pruning is justified
+// against a threshold no larger than the final global k-th score, and
+// pruning is strict), and the canonical collector retains a pure
+// function of the offered multiset — so S=1 and S>1 return bit-identical
+// IDs, scores, and tie order. See DESIGN.md §11.
+//
+// Engine is not safe for concurrent Search calls on the same instance
+// (it keeps per-query stats, like every other searcher here); use one
+// Engine per querying goroutine over a shared Kernel.
+type Engine struct {
+	kern     Kernel
+	workers  int
+	observer Observer
+	hook     *faults.Hook
+	stats    search.Stats
+}
+
+// New returns an engine over kern answering each query with a pool of
+// `workers` goroutines (clamped to the shard count; values < 1 mean
+// GOMAXPROCS).
+func New(kern Kernel, workers int) *Engine {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if s := kern.Shards(); workers > s {
+		workers = s
+	}
+	return &Engine{kern: kern, workers: workers}
+}
+
+// SetObserver installs (or, with nil, removes) the per-shard scan
+// observer.
+func (e *Engine) SetObserver(o Observer) { e.observer = o }
+
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook passed to every shard scan. The hook's atomics make it safe to
+// share across concurrently scanning shards; CancelAtItem semantics
+// are shard-local (the first shard to pass that many items cancels the
+// query).
+func (e *Engine) SetFaultHook(h *faults.Hook) { e.hook = h }
+
+// Workers returns the effective worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Search implements search.Searcher.
+func (e *Engine) Search(q []float64, k int) []topk.Result {
+	res, _ := e.SearchContext(context.Background(), q, k)
+	return res
+}
+
+// shardOut is one shard's contribution, filled in by a worker.
+type shardOut struct {
+	res  []topk.Result
+	st   search.Stats
+	err  error
+	secs float64
+}
+
+// SearchContext implements search.ContextSearcher. On cancellation it
+// merges whatever every shard had collected when it stopped and returns
+// the canonical best-so-far partial top-k alongside an
+// ErrDeadline-wrapping error; all returned scores remain true inner
+// products because each kernel maintains that invariant per shard.
+func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+	e.stats = search.Stats{}
+	pq := e.kern.Prepare(q)
+	shards := e.kern.Shards()
+	outs := make([]shardOut, shards)
+	shared := &search.SharedThreshold{}
+
+	if e.workers <= 1 || shards == 1 {
+		// Sequential path: no goroutines, no atomic traffic beyond the
+		// shared-threshold loads the kernels do anyway. With one shard
+		// this is within noise of the pre-sharding scan loop.
+		// A cancelled shard means ctx is done; later shards return
+		// promptly via their entry Poll, each recording a deterministic
+		// (possibly empty) partial, so the loop never breaks early.
+		for s := 0; s < shards; s++ {
+			e.runShard(ctx, pq, s, k, shared, &outs[s])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(e.workers)
+		for w := 0; w < e.workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					e.runShard(ctx, pq, s, k, shared, &outs[s])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge: push every shard's retained results into one canonical
+	// collector. The collector's total order (score desc, ID asc) makes
+	// the merged set independent of push order, so no cross-shard
+	// ordering discipline is needed here.
+	merged := topk.New(k)
+	var firstErr error
+	for s := 0; s < shards; s++ {
+		o := &outs[s]
+		e.stats.Add(o.st)
+		for _, r := range o.res {
+			merged.Push(r.ID, r.Score)
+		}
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err // lowest shard's error, deterministic
+		}
+	}
+	if firstErr != nil {
+		return merged.Results(), search.Canceled(firstErr)
+	}
+	return merged.Results(), nil
+}
+
+// runShard executes one shard scan and records its output, stats,
+// error, and wall time into out.
+func (e *Engine) runShard(ctx context.Context, pq any, s, k int, shared *search.SharedThreshold, out *shardOut) {
+	c := topk.New(k)
+	start := time.Now()
+	st, err := e.kern.Scan(ctx, pq, s, c, shared, e.hook)
+	secs := time.Since(start).Seconds()
+	out.res = c.Results()
+	out.st = st
+	out.err = err
+	out.secs = secs
+	if e.observer != nil {
+		e.observer(s, secs, st)
+	}
+}
+
+// Stats implements search.Searcher: the sum of every shard's stage
+// counters for the most recent query.
+func (e *Engine) Stats() search.Stats { return e.stats }
+
+var _ search.ContextSearcher = (*Engine)(nil)

@@ -1,0 +1,91 @@
+// Package engine implements the sharded execution layer: it partitions
+// an item collection into S contiguous shards, fans a single query out
+// across a bounded worker pool running one ShardKernel scan per shard,
+// and merges the per-shard top-k heaps into an exact, deterministically
+// tie-broken global top-k. See DESIGN.md §11.
+package engine
+
+// Partition describes a balanced split of n rows into contiguous
+// shards. Shard s owns the half-open global row range [Range(s)); shard
+// sizes differ by at most one (the first n%shards shards get the extra
+// row), and the mapping between global row index and (shard, local row)
+// is stable and cheap in both directions.
+//
+// Contiguity is a correctness ingredient, not just a convenience: the
+// FEXIPRO kernels scan rows in a build-time norm-sorted order, and a
+// contiguous sub-range of a sorted order is itself sorted, so every
+// shard's incremental pruning logic sees exactly the prefix structure
+// the single-scan algorithm relies on.
+type Partition struct {
+	n      int
+	shards int
+	big    int // number of shards holding base+1 rows
+	base   int // floor(n / shards)
+}
+
+// NewPartition splits n rows into at most shards contiguous ranges.
+// shards is clamped to [1, max(n,1)] so no shard is empty unless n==0
+// (in which case a single empty shard is returned).
+func NewPartition(n, shards int) Partition {
+	if n < 0 {
+		panic("engine: negative row count")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 { // n == 0
+		shards = 1
+	}
+	return Partition{n: n, shards: shards, big: n % shards, base: n / shards}
+}
+
+// N returns the total number of rows.
+func (p Partition) N() int { return p.n }
+
+// Shards returns the number of shards.
+func (p Partition) Shards() int { return p.shards }
+
+// Range returns the half-open global row range [lo, hi) owned by shard s.
+func (p Partition) Range(s int) (lo, hi int) {
+	if s < 0 || s >= p.shards {
+		panic("engine: shard out of range")
+	}
+	if s < p.big {
+		lo = s * (p.base + 1)
+		return lo, lo + p.base + 1
+	}
+	lo = p.big*(p.base+1) + (s-p.big)*p.base
+	return lo, lo + p.base
+}
+
+// ShardOf returns the shard owning global row g.
+func (p Partition) ShardOf(g int) int {
+	if g < 0 || g >= p.n {
+		panic("engine: row out of range")
+	}
+	bigSpan := p.big * (p.base + 1)
+	if g < bigSpan {
+		return g / (p.base + 1)
+	}
+	return p.big + (g-bigSpan)/p.base
+}
+
+// Local maps a global row to its (shard, local row) pair.
+func (p Partition) Local(g int) (shard, row int) {
+	shard = p.ShardOf(g)
+	lo, _ := p.Range(shard)
+	return shard, g - lo
+}
+
+// Global maps a (shard, local row) pair back to the global row index.
+func (p Partition) Global(shard, row int) int {
+	lo, hi := p.Range(shard)
+	g := lo + row
+	if row < 0 || g >= hi {
+		panic("engine: local row out of range")
+	}
+	return g
+}

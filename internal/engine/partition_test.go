@@ -1,0 +1,155 @@
+package engine
+
+import "testing"
+
+func TestPartitionBalance(t *testing.T) {
+	cases := []struct{ n, shards int }{
+		{0, 1}, {0, 5}, {1, 1}, {1, 4}, {7, 3}, {10, 3}, {10, 10},
+		{10, 11}, {100, 7}, {1024, 16}, {5, 1},
+	}
+	for _, tc := range cases {
+		p := NewPartition(tc.n, tc.shards)
+		if p.N() != tc.n {
+			t.Fatalf("n=%d shards=%d: N()=%d", tc.n, tc.shards, p.N())
+		}
+		if p.Shards() < 1 {
+			t.Fatalf("n=%d shards=%d: zero shards", tc.n, tc.shards)
+		}
+		if tc.n > 0 && p.Shards() > tc.n {
+			t.Fatalf("n=%d shards=%d: more shards (%d) than rows", tc.n, tc.shards, p.Shards())
+		}
+		prevHi := 0
+		minSz, maxSz := tc.n+1, -1
+		for s := 0; s < p.Shards(); s++ {
+			lo, hi := p.Range(s)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", tc.n, tc.shards, s, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d shards=%d: shard %d inverted range [%d,%d)", tc.n, tc.shards, s, lo, hi)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges cover [0,%d), want [0,%d)", tc.n, tc.shards, prevHi, tc.n)
+		}
+		if tc.n > 0 && maxSz-minSz > 1 {
+			t.Fatalf("n=%d shards=%d: unbalanced sizes min=%d max=%d", tc.n, tc.shards, minSz, maxSz)
+		}
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	p := NewPartition(103, 7)
+	for g := 0; g < p.N(); g++ {
+		s, r := p.Local(g)
+		if s != p.ShardOf(g) {
+			t.Fatalf("g=%d: Local shard %d != ShardOf %d", g, s, p.ShardOf(g))
+		}
+		if back := p.Global(s, r); back != g {
+			t.Fatalf("g=%d: round-trip via (%d,%d) gave %d", g, s, r, back)
+		}
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	p := NewPartition(10, 3)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative n", func() { NewPartition(-1, 2) })
+	mustPanic("shard -1", func() { p.Range(-1) })
+	mustPanic("shard too big", func() { p.Range(3) })
+	mustPanic("row -1", func() { p.ShardOf(-1) })
+	mustPanic("row n", func() { p.ShardOf(10) })
+	mustPanic("local row past end", func() { p.Global(0, 99) })
+	mustPanic("local row negative", func() { p.Global(0, -1) })
+}
+
+// FuzzPartitionRoundTrip is the ISSUE's shard-partitioner fuzz target:
+// for arbitrary n and S the contiguous ranges must exactly tile [0, n),
+// sizes must differ by at most one, and the global↔(shard,local)
+// mapping must round-trip for every row — including rows surviving an
+// arbitrary delete pattern (deletes do not perturb the mapping of the
+// remaining COMPACTED rows: the partition is recomputed for the new n,
+// which is how the dynamic index uses it after a rebuild).
+func FuzzPartitionRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint8(1), uint64(0))
+	f.Add(uint16(1), uint8(0), uint64(1))
+	f.Add(uint16(103), uint8(7), uint64(0xdeadbeef))
+	f.Add(uint16(1024), uint8(255), uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, n16 uint16, s8 uint8, delMask uint64) {
+		n := int(n16)
+		p := NewPartition(n, int(s8))
+		// Tiling + balance.
+		prevHi, minSz, maxSz := 0, n+1, -1
+		for s := 0; s < p.Shards(); s++ {
+			lo, hi := p.Range(s)
+			if lo != prevHi || hi < lo {
+				t.Fatalf("shard %d range [%d,%d) does not continue at %d", s, lo, hi, prevHi)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prevHi = hi
+		}
+		if prevHi != n {
+			t.Fatalf("ranges tile [0,%d), want [0,%d)", prevHi, n)
+		}
+		if n > 0 && maxSz-minSz > 1 {
+			t.Fatalf("unbalanced: min=%d max=%d", minSz, maxSz)
+		}
+		// Round-trip every row.
+		for g := 0; g < n; g++ {
+			s, r := p.Local(g)
+			if s < 0 || s >= p.Shards() {
+				t.Fatalf("g=%d mapped to shard %d of %d", g, s, p.Shards())
+			}
+			if back := p.Global(s, r); back != g {
+				t.Fatalf("g=%d round-trips to %d via (%d,%d)", g, back, s, r)
+			}
+		}
+		// Delete pattern: drop rows whose bit in delMask (mod 64) is
+		// set, compact, re-partition the survivors, and round-trip
+		// again — the partition over the compacted collection must be
+		// just as well-formed.
+		survivors := 0
+		for g := 0; g < n; g++ {
+			if delMask&(1<<(uint(g)%64)) == 0 {
+				survivors++
+			}
+		}
+		q := NewPartition(survivors, p.Shards())
+		total := 0
+		for s := 0; s < q.Shards(); s++ {
+			lo, hi := q.Range(s)
+			for g := lo; g < hi; g++ {
+				s2, r2 := q.Local(g)
+				if s2 != s || q.Global(s2, r2) != g {
+					t.Fatalf("post-delete g=%d: (%d,%d) shard mismatch (want shard %d)", g, s2, r2, s)
+				}
+				total++
+			}
+		}
+		if total != survivors {
+			t.Fatalf("post-delete partition covers %d rows, want %d", total, survivors)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fexipro/internal/core"
 	"fexipro/internal/covertree"
 	"fexipro/internal/data"
+	"fexipro/internal/engine"
 	"fexipro/internal/lemp"
 	"fexipro/internal/scan"
 	"fexipro/internal/search"
@@ -27,6 +28,12 @@ type Config struct {
 	Profiles []string
 	// Items, Queries, Dim override the profile defaults when > 0.
 	Items, Queries, Dim int
+	// Shards > 1 partitions every method's index into that many shards
+	// answered per query through the sharded execution engine (DESIGN.md
+	// §11) with a pool of SearchWorkers goroutines (≤ 0 = GOMAXPROCS,
+	// clamped to Shards). Results are bit-identical to the sequential
+	// scan for every exact method.
+	Shards, SearchWorkers int
 }
 
 func (c Config) profiles() []data.Profile {
@@ -96,6 +103,45 @@ func Build(name string, items *vec.Matrix, sampleQueries *vec.Matrix) (Built, er
 	return Built{Name: name, Searcher: s, Preprocess: time.Since(start)}, nil
 }
 
+// BuildSharded constructs the named method with its index partitioned
+// into `shards` scanned per query by a pool of `workers` goroutines
+// through the sharded execution engine (DESIGN.md §11). shards ≤ 1
+// falls back to the sequential Build. Preprocess includes the shard
+// partitioning (and, for tree methods, the per-shard tree builds).
+func BuildSharded(name string, items, sampleQueries *vec.Matrix, shards, workers int) (Built, error) {
+	if shards <= 1 {
+		return Build(name, items, sampleQueries)
+	}
+	sampleQueries = firstRows(sampleQueries, tuningSamples)
+	start := time.Now()
+	var kern engine.Kernel
+	switch name {
+	case "Naive":
+		kern = scan.NewNaiveKernel(scan.NewNaive(items), shards)
+	case "SS":
+		kern = scan.NewSSKernel(scan.NewSS(items, 0), shards)
+	case "SS-L":
+		kern = scan.NewSSLKernel(scan.NewSSL(items, scan.SSLOptions{SampleQueries: sampleQueries}), shards)
+	case "BallTree":
+		kern = balltree.NewKernel(items, 0, shards)
+	case "FastMKS":
+		kern = covertree.NewKernel(items, 0, shards)
+	case "LEMP":
+		kern = lemp.NewKernel(lemp.New(items, lemp.Options{SampleQueries: sampleQueries}), shards)
+	default:
+		opts, err := core.OptionsForVariant(name)
+		if err != nil {
+			return Built{}, fmt.Errorf("experiments: unknown method %q", name)
+		}
+		idx, err := core.NewIndex(items, opts)
+		if err != nil {
+			return Built{}, err
+		}
+		kern = core.NewSharded(idx, shards)
+	}
+	return Built{Name: name, Searcher: engine.New(kern, workers), Preprocess: time.Since(start)}, nil
+}
+
 // QueryCost records one query's work for the distribution figures.
 type QueryCost struct {
 	Duration     time.Duration
@@ -160,6 +206,15 @@ func firstRows(m *vec.Matrix, n int) *vec.Matrix {
 // RunMethod builds and runs a method over a dataset in one call.
 func RunMethod(name string, ds *data.Dataset, k int, collectPerQuery bool) (RunResult, error) {
 	b, err := Build(name, ds.Items, ds.Queries)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return Run(b, ds, k, collectPerQuery), nil
+}
+
+// RunMethodSharded is RunMethod through BuildSharded.
+func RunMethodSharded(name string, ds *data.Dataset, k int, collectPerQuery bool, shards, workers int) (RunResult, error) {
+	b, err := BuildSharded(name, ds.Items, ds.Queries, shards, workers)
 	if err != nil {
 		return RunResult{}, err
 	}

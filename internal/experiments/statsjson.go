@@ -19,6 +19,8 @@ type StatsReport struct {
 	Queries         int               `json:"queries"`
 	Items           int               `json:"items"`
 	Dim             int               `json:"dim"`
+	Shards          int               `json:"shards,omitempty"`
+	SearchWorkers   int               `json:"searchWorkers,omitempty"`
 	PreprocessMs    float64           `json:"preprocessMs"`
 	RetrieveMs      float64           `json:"retrieveMs"`
 	AvgFullProducts float64           `json:"avgFullProducts"`
@@ -38,9 +40,13 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 	for _, p := range cfg.profiles() {
 		ds := cfg.Load(p)
 		for _, name := range methods {
-			r, err := RunMethod(name, ds, k, false)
+			r, err := RunMethodSharded(name, ds, k, false, cfg.Shards, cfg.SearchWorkers)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: stats for %s/%s: %w", p.Name, name, err)
+			}
+			shards, workers := cfg.Shards, cfg.SearchWorkers
+			if shards <= 1 {
+				shards, workers = 0, 0 // omitted: sequential scan
 			}
 			out = append(out, StatsReport{
 				Dataset:         r.Dataset,
@@ -49,6 +55,8 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 				Queries:         r.QueriesCount,
 				Items:           ds.Items.Rows,
 				Dim:             ds.Items.Cols,
+				Shards:          shards,
+				SearchWorkers:   workers,
 				PreprocessMs:    float64(r.Preprocess.Microseconds()) / 1e3,
 				RetrieveMs:      float64(r.Retrieve.Microseconds()) / 1e3,
 				AvgFullProducts: r.AvgFullIP,

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"fexipro/internal/faults"
 	"fexipro/internal/search"
@@ -189,80 +190,114 @@ func (idx *Index) Search(q []float64, k int) []topk.Result {
 	return res
 }
 
-// SearchContext implements search.ContextSearcher: bucket scans poll ctx
-// every search.CheckStride items (counted globally across buckets) and
-// return the best-so-far partial top-k with an ErrDeadline-wrapping
-// error on cancellation.
-func (idx *Index) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+// lempQuery is the per-query state shared read-only across shard scans.
+type lempQuery struct {
+	qNorm float64
+	qUnit []float64
+	focus int
+	qf    float64
+	qRest float64
+}
+
+func (idx *Index) prepareQuery(q []float64) *lempQuery {
 	if len(q) != idx.d {
 		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", len(q), idx.d))
 	}
+	qs := &lempQuery{qNorm: vec.Norm(q)}
+	if qs.qNorm == 0 {
+		return qs
+	}
+	qs.qUnit = vec.Scaled(q, 1/qs.qNorm)
+
+	// Focus coordinate for the COORD candidate test.
+	if idx.strategy == StrategyCoord {
+		for j := 1; j < idx.d; j++ {
+			if math.Abs(qs.qUnit[j]) > math.Abs(qs.qUnit[qs.focus]) {
+				qs.focus = j
+			}
+		}
+		qs.qf = qs.qUnit[qs.focus]
+		qs.qRest = math.Sqrt(math.Max(0, 1-qs.qf*qs.qf))
+	}
+	return qs
+}
+
+// SearchContext implements search.ContextSearcher: bucket scans poll ctx
+// every search.CheckStride items (counted across buckets) and return the
+// best-so-far partial top-k with an ErrDeadline-wrapping error on
+// cancellation.
+func (idx *Index) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+	qs := idx.prepareQuery(q)
 	idx.stats = search.Stats{}
-	c := topk.New(k)
 	if k == 0 {
 		return nil, nil
 	}
-	qNorm := vec.Norm(q)
-	if qNorm == 0 {
-		for bi := range idx.buckets {
-			b := &idx.buckets[bi]
-			for i := range b.ids {
-				if c.Len() >= k {
-					break
-				}
-				c.Push(b.ids[i], 0)
-			}
-		}
-		return c.Results(), nil
-	}
-	qUnit := vec.Scaled(q, 1/qNorm)
-
-	// Focus coordinate for the COORD candidate test.
-	var focus int
-	var qf, qRest float64
-	if idx.strategy == StrategyCoord {
-		for j := 1; j < idx.d; j++ {
-			if math.Abs(qUnit[j]) > math.Abs(qUnit[focus]) {
-				focus = j
-			}
-		}
-		qf = qUnit[focus]
-		qRest = math.Sqrt(math.Max(0, 1-qf*qf))
-	}
-
-	done := ctx.Done()
-	hook := idx.hook
-	pos := 0 // global item counter across buckets, for Poll indices
-	for bi := range idx.buckets {
-		b := &idx.buckets[bi]
-		t := c.Threshold()
-		if qNorm*b.maxNorm <= t {
-			for _, rest := range idx.buckets[bi:] {
-				idx.stats.PrunedByLength += len(rest.ids)
-			}
-			break
-		}
-		// COORD: one O(d) bound may rule out the whole bucket without
-		// stopping the scan (later buckets can still qualify).
-		if b.coord != nil && !math.IsInf(t, -1) {
-			cosUB := b.coord.cosUpperBound(qUnit)
-			if b.coord.bucketBound(qNorm, b.maxNorm, cosUB) <= t {
-				idx.stats.PrunedByIncremental += len(b.ids)
-				pos += len(b.ids)
-				continue
-			}
-		}
-		if err := idx.scanBucket(ctx, hook, done, &pos, b, qUnit, qNorm, focus, qf, qRest, c); err != nil {
-			return c.Results(), err
-		}
+	c := topk.New(k)
+	if err := idx.scanBuckets(ctx, idx.hook, qs, 0, len(idx.buckets), c, nil, &idx.stats); err != nil {
+		return c.Results(), err
 	}
 	return c.Results(), nil
 }
 
-func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan struct{}, pos *int, b *bucket, qUnit []float64, qNorm float64, focus int, qf, qRest float64, c *topk.Collector) error {
+// scanBuckets runs the bucket scan over buckets [bLo, bHi) — the whole
+// index for the classic single scan, a contiguous bucket range for one
+// shard of the sharded engine. Buckets hold consecutive runs of the
+// norm-sorted items, so a contiguous bucket range preserves the sorted
+// prefix structure and the bucket-level stop stays valid within the
+// range. Pruning is STRICT against the max of the local and cross-shard
+// thresholds; ctx is polled at SHARD-LOCAL item positions (counted from
+// the start of the range, across bucket boundaries).
+func (idx *Index) scanBuckets(ctx context.Context, hook *faults.Hook, qs *lempQuery, bLo, bHi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
+	done := ctx.Done()
+	pos := 0 // item counter across the range's buckets, for Poll indices
+	if qs.qNorm == 0 {
+		// Zero query: every item ties at 0. Offer the WHOLE range so the
+		// canonical collector retains the same k IDs no matter how
+		// buckets are split across shards.
+		for bi := bLo; bi < bHi; bi++ {
+			b := &idx.buckets[bi]
+			for i := range b.ids {
+				if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+					if err := search.Poll(ctx, hook, pos); err != nil {
+						return err
+					}
+				}
+				pos++
+				c.Push(b.ids[i], 0)
+			}
+		}
+		return nil
+	}
+	for bi := bLo; bi < bHi; bi++ {
+		b := &idx.buckets[bi]
+		t := shared.Floor(c.Threshold())
+		if qs.qNorm*b.maxNorm < t {
+			for bj := bi; bj < bHi; bj++ {
+				stats.PrunedByLength += len(idx.buckets[bj].ids)
+			}
+			return nil
+		}
+		// COORD: one O(d) bound may rule out the whole bucket without
+		// stopping the scan (later buckets can still qualify).
+		if b.coord != nil && !math.IsInf(t, -1) {
+			cosUB := b.coord.cosUpperBound(qs.qUnit)
+			if b.coord.bucketBound(qs.qNorm, b.maxNorm, cosUB) < t {
+				stats.PrunedByIncremental += len(b.ids)
+				pos += len(b.ids)
+				continue
+			}
+		}
+		if err := idx.scanBucket(ctx, hook, done, &pos, b, qs, c, shared, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan struct{}, pos *int, b *bucket, qs *lempQuery, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
 	d := idx.d
 	w := b.w
-	qTail := vec.NormRange(qUnit, w, d)
+	qTail := vec.NormRange(qs.qUnit, w, d)
 	for i := 0; i < b.unit.Rows; i++ {
 		if hook != nil || (done != nil && *pos&search.StrideMask == 0) {
 			if err := search.Poll(ctx, hook, *pos); err != nil {
@@ -270,13 +305,13 @@ func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan
 			}
 		}
 		*pos++
-		t := c.Threshold()
-		lenBound := qNorm * b.norms[i]
-		if lenBound <= t {
-			idx.stats.PrunedByLength += b.unit.Rows - i
+		t := shared.Floor(c.Threshold())
+		lenBound := qs.qNorm * b.norms[i]
+		if lenBound < t {
+			stats.PrunedByLength += b.unit.Rows - i
 			return nil
 		}
-		idx.stats.Scanned++
+		stats.Scanned++
 		theta := math.Inf(-1)
 		if !math.IsInf(t, -1) {
 			theta = t / lenBound
@@ -285,26 +320,27 @@ func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan
 		if b.coord != nil {
 			// LEMP-C focus-coordinate test: a single multiplication per
 			// candidate before any partial dot product.
-			pf := row[focus]
-			if qf*pf+qRest*math.Sqrt(math.Max(0, 1-pf*pf)) <= theta {
-				idx.stats.PrunedByIncremental++
+			pf := row[qs.focus]
+			if qs.qf*pf+qs.qRest*math.Sqrt(math.Max(0, 1-pf*pf)) < theta {
+				stats.PrunedByIncremental++
 				continue
 			}
 		}
 		var cos float64
 		if w < d {
-			cos = vec.DotRange(qUnit, row, 0, w)
-			if cos+qTail*b.tailNorms[i] <= theta {
-				idx.stats.PrunedByIncremental++
+			cos = vec.DotRange(qs.qUnit, row, 0, w)
+			if cos+qTail*b.tailNorms[i] < theta {
+				stats.PrunedByIncremental++
 				continue
 			}
-			cos += vec.DotRange(qUnit, row, w, d)
+			cos += vec.DotRange(qs.qUnit, row, w, d)
 		} else {
-			cos = vec.Dot(qUnit, row)
+			cos = vec.Dot(qs.qUnit, row)
 		}
-		idx.stats.FullProducts++
-		if v := cos * lenBound; v > t {
-			c.Push(b.ids[i], v)
+		stats.FullProducts++
+		v := cos * lenBound
+		if c.Push(b.ids[i], v) && c.Len() == c.K() {
+			shared.Publish(c.Threshold())
 		}
 	}
 	return nil
@@ -317,17 +353,96 @@ func (idx *Index) Stats() search.Stats { return idx.stats }
 // TopKJoin answers the paper's batch task: the top-k list for every
 // query row. Queries are processed in descending-norm order internally
 // (LEMP's locality optimization) but results are returned in input order.
+// It delegates to TopKJoinContext with a background context and one
+// worker (the deterministic sequential order).
 func (idx *Index) TopKJoin(queries *vec.Matrix, k int) [][]topk.Result {
+	out, _ := idx.TopKJoinContext(context.Background(), queries, k, 1)
+	return out
+}
+
+// TopKJoinContext is TopKJoin with cancellation and worker parallelism:
+// queries are processed in descending-norm order, sharded across
+// workers (≤ 0 or 1 means sequential), each worker accumulating its own
+// stage counters over the shared read-only buckets. On cancellation it
+// returns the batch completed so far — unprocessed queries have nil
+// slots, the query cut short mid-scan keeps its true-inner-product
+// partial — together with an ErrDeadline-wrapping error. Stats() after
+// the call reports the counters accumulated over the whole batch.
+func (idx *Index) TopKJoinContext(ctx context.Context, queries *vec.Matrix, k, workers int) ([][]topk.Result, error) {
+	if queries.Cols != idx.d {
+		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", queries.Cols, idx.d))
+	}
 	out := make([][]topk.Result, queries.Rows)
 	ordered := queries.Clone()
 	perm := ordered.SortRowsByNormDesc()
+	if workers <= 1 || queries.Rows <= 1 {
+		var acc search.Stats
+		var firstErr error
+		for i := 0; i < ordered.Rows; i++ {
+			qs := idx.prepareQuery(ordered.Row(i))
+			var st search.Stats
+			c := topk.New(k)
+			err := idx.scanBuckets(ctx, idx.hook, qs, 0, len(idx.buckets), c, nil, &st)
+			out[perm[i]] = c.Results()
+			acc.Add(st)
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+		idx.stats = acc
+		if firstErr != nil {
+			return out, search.Canceled(firstErr)
+		}
+		return out, nil
+	}
+
+	chunk := (ordered.Rows + workers - 1) / workers
+	type chunkOut struct {
+		st  search.Stats
+		err error
+	}
+	nchunks := (ordered.Rows + chunk - 1) / chunk
+	couts := make([]chunkOut, nchunks)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nchunks; ci++ {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > ordered.Rows {
+			hi = ordered.Rows
+		}
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			co := &couts[ci]
+			for i := lo; i < hi; i++ {
+				qs := idx.prepareQuery(ordered.Row(i))
+				var st search.Stats
+				c := topk.New(k)
+				err := idx.scanBuckets(ctx, idx.hook, qs, 0, len(idx.buckets), c, nil, &st)
+				out[perm[i]] = c.Results()
+				co.st.Add(st)
+				if err != nil {
+					co.err = err
+					return
+				}
+			}
+		}(ci, lo, hi)
+	}
+	wg.Wait()
 	var acc search.Stats
-	for i := 0; i < ordered.Rows; i++ {
-		out[perm[i]] = idx.Search(ordered.Row(i), k)
-		acc.Add(idx.stats)
+	var firstErr error
+	for ci := range couts {
+		acc.Add(couts[ci].st)
+		if couts[ci].err != nil && firstErr == nil {
+			firstErr = couts[ci].err
+		}
 	}
 	idx.stats = acc
-	return out
+	if firstErr != nil {
+		return out, search.Canceled(firstErr)
+	}
+	return out, nil
 }
 
 var _ search.ContextSearcher = (*Index)(nil)

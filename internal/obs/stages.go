@@ -1,6 +1,10 @@
 package obs
 
-import "fexipro/internal/search"
+import (
+	"strconv"
+
+	"fexipro/internal/search"
+)
 
 // StageCounters is the shared per-pruning-stage counter schema. It is
 // the one JSON shape used by the /v1/search response, the fexbench
@@ -57,6 +61,10 @@ const (
 	MetricFullProducts  = "fexipro_full_products_total"
 	MetricNodesVisited  = "fexipro_tree_nodes_visited_total"
 	MetricSearches      = "fexipro_searches_total"
+	// MetricShardScan is the per-shard scan wall time of the sharded
+	// execution engine, labeled by shard index (DESIGN.md §11). Skew
+	// between shard labels reveals partition imbalance.
+	MetricShardScan = "fexipro_shard_scan_seconds"
 )
 
 // SearchRecorder accumulates cumulative per-stage counters and search
@@ -99,6 +107,22 @@ func NewSearchRecorder(reg *Registry, variant string) *SearchRecorder {
 
 // Variant returns the variant label this recorder reports under.
 func (r *SearchRecorder) Variant() string { return r.variant }
+
+// ShardScanObserver returns a per-shard scan callback (matching the
+// execution engine's Observer signature) that records each shard's wall
+// time into the MetricShardScan histogram, labeled variant and shard
+// index. The per-shard stage counters are NOT recorded here — the
+// engine aggregates them into its query totals, which flow into the
+// existing SearchRecorder families, keeping cumulative counters
+// identical whether a variant runs sharded or not. Safe for concurrent
+// use from engine workers.
+func ShardScanObserver(reg *Registry, variant string) func(shard int, seconds float64, st search.Stats) {
+	return func(shard int, seconds float64, st search.Stats) {
+		reg.Histogram(MetricShardScan,
+			"Per-shard scan wall time of the sharded execution engine, in seconds.",
+			nil, L("variant", variant), L("shard", strconv.Itoa(shard))).Observe(seconds)
+	}
+}
 
 // RecordSearch folds one query's counters and wall time into the
 // cumulative metrics.

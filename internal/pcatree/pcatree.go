@@ -186,38 +186,64 @@ func (t *Tree) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Re
 	}
 	ext := make([]float64, t.items.Cols+1)
 	copy(ext[1:], q)
-	if err := t.descend(ctx, t.root, ext, q, c); err != nil {
+	s := &scanState{t: t, ctx: ctx, ext: ext, q: q, c: c, hook: t.hook, stats: &t.stats, loID: 0, hiID: t.items.Rows}
+	if err := s.descend(t.root); err != nil {
 		return c.Results(), err
 	}
 	return c.Results(), nil
 }
 
-func (t *Tree) descend(ctx context.Context, n *pnode, ext, q []float64, c *topk.Collector) error {
-	if hook, done := t.hook, ctx.Done(); hook != nil || (done != nil && t.stats.NodesVisited&search.StrideMask == 0) {
-		if err := search.Poll(ctx, hook, t.stats.NodesVisited); err != nil {
+// scanState carries one defeatist descent's per-query inputs and
+// outputs, decoupled from the Tree for the sharded engine. Unlike the
+// exact trees, PCATree shards share ONE global tree: the descent path
+// is threshold-independent (it depends only on the transformed query
+// and the spill option), so every shard walks the same nodes and offers
+// only the visited candidates whose IDs fall in its [loID, hiID) range.
+// The union of offered candidates is therefore identical for every
+// shard count, which keeps even this approximate method bit-identical
+// across shard layouts (DESIGN.md §11).
+type scanState struct {
+	t          *Tree
+	ctx        context.Context
+	ext, q     []float64
+	c          *topk.Collector
+	shared     *search.SharedThreshold
+	hook       *faults.Hook
+	stats      *search.Stats
+	loID, hiID int
+}
+
+func (s *scanState) descend(n *pnode) error {
+	if done := s.ctx.Done(); s.hook != nil || (done != nil && s.stats.NodesVisited&search.StrideMask == 0) {
+		if err := search.Poll(s.ctx, s.hook, s.stats.NodesVisited); err != nil {
 			return err
 		}
 	}
-	t.stats.NodesVisited++
+	s.stats.NodesVisited++
 	if n.ids != nil {
 		for _, id := range n.ids {
-			t.stats.Scanned++
-			t.stats.FullProducts++
-			c.Push(id, vec.Dot(q, t.items.Row(id)))
+			if id < s.loID || id >= s.hiID {
+				continue // another shard's candidate
+			}
+			s.stats.Scanned++
+			s.stats.FullProducts++
+			if s.c.Push(id, vec.Dot(s.q, s.t.items.Row(id))) && s.c.Len() == s.c.K() {
+				s.shared.Publish(s.c.Threshold())
+			}
 		}
 		return nil
 	}
-	proj := vec.Dot(n.direction, ext)
+	proj := vec.Dot(n.direction, s.ext)
 	primary, secondary := n.left, n.right
 	if proj > n.threshold {
 		primary, secondary = n.right, n.left
 	}
-	if err := t.descend(ctx, primary, ext, q, c); err != nil {
+	if err := s.descend(primary); err != nil {
 		return err
 	}
-	if t.opts.SpillFraction > 0 && n.spread > 0 &&
-		math.Abs(proj-n.threshold) <= t.opts.SpillFraction*n.spread {
-		if err := t.descend(ctx, secondary, ext, q, c); err != nil {
+	if s.t.opts.SpillFraction > 0 && n.spread > 0 &&
+		math.Abs(proj-n.threshold) <= s.t.opts.SpillFraction*n.spread {
+		if err := s.descend(secondary); err != nil {
 			return err
 		}
 	}

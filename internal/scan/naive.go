@@ -2,6 +2,11 @@
 // Section 2.2: the Naive full scan, the Cauchy–Schwarz sorted scan SS
 // with incremental pruning (Algorithms 1 and 2), and SS-L, the LEMP-style
 // single-query variant operating on normalized vectors.
+//
+// Every baseline exposes its scan as a range-scan over a contiguous row
+// interval, so the same code path serves both the classic single-scan
+// SearchContext (range [0, n)) and one shard of the sharded execution
+// engine (see the *Kernel types in kernel.go and DESIGN.md §11).
 package scan
 
 import (
@@ -41,6 +46,18 @@ func (n *Naive) Search(q []float64, k int) []topk.Result {
 // SearchContext implements search.ContextSearcher: the scan polls ctx
 // every search.CheckStride items and returns the best-so-far partial
 // top-k with an ErrDeadline-wrapping error on cancellation.
+func (n *Naive) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+	n.stats = search.Stats{}
+	c := topk.New(k)
+	if err := n.scanRange(ctx, n.hook, q, 0, n.items.Rows, c, &n.stats); err != nil {
+		return c.Results(), err
+	}
+	return c.Results(), nil
+}
+
+// scanRange scans rows [lo, hi), offering every inner product to c.
+// ctx is polled at RANGE-LOCAL indices (i−lo) so each shard of a
+// sharded scan polls at its own first item.
 //
 // Naive is the cheapest per-item scan in the repository (a bare dot
 // product), so it is the one place where even a predictable per-item
@@ -51,45 +68,41 @@ func (n *Naive) Search(q []float64, k int) []topk.Result {
 // only when a fault hook demands per-item OnItem calls.
 // BenchmarkSearchContextOverhead in bench_test.go holds the first two
 // paths within 1% of a guard-free scan at d = 1.
-func (n *Naive) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
-	n.stats = search.Stats{}
-	c := topk.New(k)
+func (n *Naive) scanRange(ctx context.Context, hook *faults.Hook, q []float64, lo, hi int, c *topk.Collector, stats *search.Stats) error {
 	done := ctx.Done()
-	hook := n.hook
-	rows := n.items.Rows
 	switch {
 	case hook == nil && done == nil:
-		for i := 0; i < rows; i++ {
+		for i := lo; i < hi; i++ {
 			c.Push(i, vec.Dot(q, n.items.Row(i)))
 		}
 	case hook == nil:
-		for base := 0; base < rows; base += search.CheckStride {
-			if err := search.Poll(ctx, nil, base); err != nil {
-				n.stats.Scanned = base
-				n.stats.FullProducts = base
-				return c.Results(), err
+		for base := lo; base < hi; base += search.CheckStride {
+			if err := search.Poll(ctx, nil, base-lo); err != nil {
+				stats.Scanned += base - lo
+				stats.FullProducts += base - lo
+				return err
 			}
 			end := base + search.CheckStride
-			if end > rows {
-				end = rows
+			if end > hi {
+				end = hi
 			}
 			for i := base; i < end; i++ {
 				c.Push(i, vec.Dot(q, n.items.Row(i)))
 			}
 		}
 	default:
-		for i := 0; i < rows; i++ {
-			if err := search.Poll(ctx, hook, i); err != nil {
-				n.stats.Scanned = i
-				n.stats.FullProducts = i
-				return c.Results(), err
+		for i := lo; i < hi; i++ {
+			if err := search.Poll(ctx, hook, i-lo); err != nil {
+				stats.Scanned += i - lo
+				stats.FullProducts += i - lo
+				return err
 			}
 			c.Push(i, vec.Dot(q, n.items.Row(i)))
 		}
 	}
-	n.stats.Scanned = rows
-	n.stats.FullProducts = rows
-	return c.Results(), nil
+	stats.Scanned += hi - lo
+	stats.FullProducts += hi - lo
+	return nil
 }
 
 // Stats implements search.Searcher.

@@ -71,62 +71,87 @@ func (s *SS) Search(q []float64, k int) []topk.Result {
 	return res
 }
 
+// ssQuery is the per-query state shared read-only across shard scans.
+type ssQuery struct {
+	q     []float64
+	qNorm float64
+	qTail float64
+}
+
+func (s *SS) prepareQuery(q []float64) *ssQuery {
+	if len(q) != s.items.Cols {
+		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), s.items.Cols))
+	}
+	return &ssQuery{q: q, qNorm: vec.Norm(q), qTail: vec.NormRange(q, s.w, len(q))}
+}
+
 // SearchContext implements search.ContextSearcher: the scan polls ctx
 // every search.CheckStride items and returns the best-so-far partial
 // top-k with an ErrDeadline-wrapping error on cancellation.
 func (s *SS) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
-	if len(q) != s.items.Cols {
-		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), s.items.Cols))
-	}
+	qs := s.prepareQuery(q)
 	s.stats = search.Stats{}
 	c := topk.New(k)
-	qNorm := vec.Norm(q)
-	qTail := vec.NormRange(q, s.w, len(q))
-	done := ctx.Done()
-	hook := s.hook
-
-	for i := 0; i < s.items.Rows; i++ {
-		if hook != nil || (done != nil && i&search.StrideMask == 0) {
-			if err := search.Poll(ctx, hook, i); err != nil {
-				return c.Results(), err
-			}
-		}
-		t := c.Threshold()
-		if qNorm*s.norms[i] <= t {
-			// Everything after i has a smaller length: terminate.
-			s.stats.PrunedByLength += s.items.Rows - i
-			break
-		}
-		s.stats.Scanned++
-		row := s.items.Row(i)
-		v := s.coordinateScan(q, row, qTail, s.tailNorms[i], t)
-		if v > t {
-			c.Push(s.perm[i], v)
-		}
+	if err := s.scanRange(ctx, s.hook, qs, 0, s.items.Rows, c, nil, &s.stats); err != nil {
+		return c.Results(), err
 	}
 	return c.Results(), nil
 }
 
+// scanRange is Algorithm 1 over the sorted rows [lo, hi): Cauchy–
+// Schwarz early termination (valid within any contiguous sub-range of
+// the sorted order) plus the Algorithm 2 coordinate scan. Pruning is
+// STRICT (a candidate is discarded only when its bound is strictly
+// below the effective threshold) and the effective threshold is the
+// max of the local heap's and the cross-shard shared one, so the
+// surviving candidate set is independent of how [0, n) is partitioned.
+// ctx is polled at RANGE-LOCAL indices (i−lo).
+func (s *SS) scanRange(ctx context.Context, hook *faults.Hook, qs *ssQuery, lo, hi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
+	done := ctx.Done()
+	for i := lo; i < hi; i++ {
+		if hook != nil || (done != nil && (i-lo)&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i-lo); err != nil {
+				return err
+			}
+		}
+		t := shared.Floor(c.Threshold())
+		if qs.qNorm*s.norms[i] < t {
+			// Everything after i has a smaller length: terminate this range.
+			stats.PrunedByLength += hi - i
+			return nil
+		}
+		stats.Scanned++
+		row := s.items.Row(i)
+		v, ok := s.coordinateScan(qs, row, s.tailNorms[i], t, stats)
+		if ok {
+			if c.Push(s.perm[i], v) && c.Len() == c.K() {
+				shared.Publish(c.Threshold())
+			}
+		}
+	}
+	return nil
+}
+
 // coordinateScan is Algorithm 2: accumulate the first w products, attempt
-// the Eq. 1 bound, then finish the product only if the bound fails.
-func (s *SS) coordinateScan(q, p []float64, qTail, pTail, t float64) float64 {
+// the Eq. 1 bound, then finish the product only if the bound fails. It
+// returns the exact product and true, or (0, false) when pruned.
+func (s *SS) coordinateScan(qs *ssQuery, p []float64, pTail, t float64, stats *search.Stats) (float64, bool) {
+	q := qs.q
 	d := len(q)
 	if s.w >= d {
-		s.stats.FullProducts++
-		return vec.Dot(q, p)
+		stats.FullProducts++
+		return vec.Dot(q, p), true
 	}
 	v := vec.DotRange(q, p, 0, s.w)
-	if v+qTail*pTail <= t {
-		s.stats.PrunedByIncremental++
-		return negInf
+	if v+qs.qTail*pTail < t {
+		stats.PrunedByIncremental++
+		return 0, false
 	}
-	s.stats.FullProducts++
-	return v + vec.DotRange(q, p, s.w, d)
+	stats.FullProducts++
+	return v + vec.DotRange(q, p, s.w, d), true
 }
 
 // Stats implements search.Searcher.
 func (s *SS) Stats() search.Stats { return s.stats }
 
 var _ search.ContextSearcher = (*SS)(nil)
-
-const negInf = -1.7976931348623157e308 // ≈ -math.MaxFloat64; sentinel for "pruned"

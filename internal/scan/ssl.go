@@ -117,85 +117,121 @@ func (s *SSL) Search(q []float64, k int) []topk.Result {
 	return res
 }
 
-// SearchContext implements search.ContextSearcher: the scan polls ctx
-// every search.CheckStride items and returns the best-so-far partial
-// top-k with an ErrDeadline-wrapping error on cancellation.
-func (s *SSL) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+// sslQuery is the per-query state shared read-only across shard scans.
+type sslQuery struct {
+	qNorm float64
+	qUnit []float64
+	qTail float64
+	focus int
+	qf    float64
+	qRest float64
+}
+
+func (s *SSL) prepareQuery(q []float64) *sslQuery {
 	d := s.unit.Cols
 	if len(q) != d {
 		panic(fmt.Sprintf("scan: query dim %d != item dim %d", len(q), d))
 	}
-	s.stats = search.Stats{}
-	c := topk.New(k)
-	qNorm := vec.Norm(q)
-	if qNorm == 0 {
-		// Zero query: all inner products are zero; any k items tie.
-		for i := 0; i < min(k, s.unit.Rows); i++ {
-			c.Push(s.perm[i], 0)
-		}
-		return c.Results(), nil
+	qs := &sslQuery{qNorm: vec.Norm(q)}
+	if qs.qNorm == 0 {
+		return qs
 	}
-	qUnit := vec.Scaled(q, 1/qNorm)
-	qTail := vec.NormRange(qUnit, s.w, d)
+	qs.qUnit = vec.Scaled(q, 1/qs.qNorm)
+	qs.qTail = vec.NormRange(qs.qUnit, s.w, d)
 
 	// Focus coordinate: the query's largest-magnitude unit coordinate.
-	focus := 0
 	for j := 1; j < d; j++ {
-		if math.Abs(qUnit[j]) > math.Abs(qUnit[focus]) {
-			focus = j
+		if math.Abs(qs.qUnit[j]) > math.Abs(qs.qUnit[qs.focus]) {
+			qs.focus = j
 		}
 	}
-	qf := qUnit[focus]
-	qRest := math.Sqrt(math.Max(0, 1-qf*qf))
-	done := ctx.Done()
-	hook := s.hook
+	qs.qf = qs.qUnit[qs.focus]
+	qs.qRest = math.Sqrt(math.Max(0, 1-qs.qf*qs.qf))
+	return qs
+}
 
-	for i := 0; i < s.unit.Rows; i++ {
-		if hook != nil || (done != nil && i&search.StrideMask == 0) {
-			if err := search.Poll(ctx, hook, i); err != nil {
-				return c.Results(), err
+// SearchContext implements search.ContextSearcher: the scan polls ctx
+// every search.CheckStride items and returns the best-so-far partial
+// top-k with an ErrDeadline-wrapping error on cancellation.
+func (s *SSL) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
+	qs := s.prepareQuery(q)
+	s.stats = search.Stats{}
+	c := topk.New(k)
+	if err := s.scanRange(ctx, s.hook, qs, 0, s.unit.Rows, c, nil, &s.stats); err != nil {
+		return c.Results(), err
+	}
+	return c.Results(), nil
+}
+
+// scanRange is the SS-L scan over the sorted rows [lo, hi). Pruning is
+// STRICT against the max of the local and cross-shard thresholds, so
+// the surviving candidate set is independent of how [0, n) is
+// partitioned; ctx is polled at RANGE-LOCAL indices (i−lo).
+func (s *SSL) scanRange(ctx context.Context, hook *faults.Hook, qs *sslQuery, lo, hi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
+	d := s.unit.Cols
+	if qs.qNorm == 0 {
+		// Zero query: all inner products are zero; every row ties.
+		// Offer the WHOLE range so the canonical collector retains the
+		// same k IDs no matter how rows are split across shards.
+		done := ctx.Done()
+		for i := lo; i < hi; i++ {
+			if hook != nil || (done != nil && (i-lo)&search.StrideMask == 0) {
+				if err := search.Poll(ctx, hook, i-lo); err != nil {
+					return err
+				}
+			}
+			c.Push(s.perm[i], 0)
+		}
+		return nil
+	}
+	done := ctx.Done()
+	for i := lo; i < hi; i++ {
+		if hook != nil || (done != nil && (i-lo)&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, i-lo); err != nil {
+				return err
 			}
 		}
-		t := c.Threshold()
-		lenBound := qNorm * s.norms[i]
-		if lenBound <= t {
-			s.stats.PrunedByLength += s.unit.Rows - i
-			break
+		t := shared.Floor(c.Threshold())
+		lenBound := qs.qNorm * s.norms[i]
+		if lenBound < t {
+			stats.PrunedByLength += hi - i
+			return nil
 		}
-		s.stats.Scanned++
+		stats.Scanned++
 		row := s.unit.Row(i)
-		// Cosine threshold: p survives only if cos(q,p) > t / (‖q‖‖p‖).
+		// Cosine threshold: p can be discarded only if cos(q,p) is
+		// strictly below t / (‖q‖‖p‖).
 		theta := math.Inf(-1)
 		if !math.IsInf(t, -1) {
 			theta = t / lenBound
 		}
 
 		// Coordinate-based check on the focus coordinate.
-		pf := row[focus]
-		if qf*pf+qRest*math.Sqrt(math.Max(0, 1-pf*pf)) <= theta {
-			s.stats.PrunedByIncremental++
+		pf := row[qs.focus]
+		if qs.qf*pf+qs.qRest*math.Sqrt(math.Max(0, 1-pf*pf)) < theta {
+			stats.PrunedByIncremental++
 			continue
 		}
 
 		// Incremental pruning on the unit vectors.
 		var cos float64
 		if s.w < d {
-			cos = vec.DotRange(qUnit, row, 0, s.w)
-			if cos+qTail*s.tailNorms[i] <= theta {
-				s.stats.PrunedByIncremental++
+			cos = vec.DotRange(qs.qUnit, row, 0, s.w)
+			if cos+qs.qTail*s.tailNorms[i] < theta {
+				stats.PrunedByIncremental++
 				continue
 			}
-			cos += vec.DotRange(qUnit, row, s.w, d)
+			cos += vec.DotRange(qs.qUnit, row, s.w, d)
 		} else {
-			cos = vec.Dot(qUnit, row)
+			cos = vec.Dot(qs.qUnit, row)
 		}
-		s.stats.FullProducts++
+		stats.FullProducts++
 		v := cos * lenBound
-		if v > t {
-			c.Push(s.perm[i], v)
+		if c.Push(s.perm[i], v) && c.Len() == c.K() {
+			shared.Publish(c.Threshold())
 		}
 	}
-	return c.Results(), nil
+	return nil
 }
 
 // Stats implements search.Searcher.

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// SharedThreshold is a monotonically increasing float64 threshold shared
+// across concurrent shard scans of the same query. Each shard keeps a
+// private top-k heap; once that heap is full its local threshold (the
+// k-th best score seen so far in the shard) is a valid GLOBAL lower
+// bound on the final k-th score, so the shard publishes it here and
+// every other shard may prune against the maximum of all published
+// values. Because only full-heap thresholds are published and consumers
+// prune strictly (an item is skipped only when its upper bound is
+// STRICTLY below the threshold), pruning against the shared value can
+// never discard an item that belongs in the canonical global top-k —
+// see DESIGN.md §11 for the proof sketch.
+//
+// The zero value is ready to use and reads as -Inf (nothing published).
+// A nil *SharedThreshold is also valid: Floor degrades to the local
+// threshold and Publish is a no-op, so single-shard code paths can pass
+// nil with no branches at the call sites.
+//
+// SharedThreshold must not be copied after first use (it embeds an
+// atomic); always pass a pointer.
+type SharedThreshold struct {
+	// bits holds an order-preserving encoding of the published float64:
+	// for f >= 0 the encoding is bits(f) | 1<<63, for f < 0 it is
+	// ^bits(f). This maps the total order of non-NaN floats onto the
+	// unsigned integer order so "publish the max" is a plain CAS loop on
+	// a uint64. The raw value 0 is unreachable for any non-NaN input
+	// (bits(-inf) encodes to 0x000...1<<63-1... — see encodeOrdered) and
+	// serves as the "nothing published yet" sentinel.
+	bits atomic.Uint64
+}
+
+// encodeOrdered maps f to a uint64 whose unsigned order matches the
+// float order. Non-NaN inputs never map to raw 0: the smallest
+// encodable value is encodeOrdered(-Inf) = ^bits(-Inf) = 0x000fffff...
+// which is nonzero, so 0 remains free as the unset sentinel.
+func encodeOrdered(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) == 0 {
+		return b | 1<<63
+	}
+	return ^b
+}
+
+// decodeOrdered inverts encodeOrdered.
+func decodeOrdered(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// Load returns the largest threshold published so far, or -Inf when
+// nothing has been published (including on a nil receiver).
+func (s *SharedThreshold) Load() float64 {
+	if s == nil {
+		return math.Inf(-1)
+	}
+	u := s.bits.Load()
+	if u == 0 {
+		return math.Inf(-1)
+	}
+	return decodeOrdered(u)
+}
+
+// Floor returns the tighter of the caller's local threshold and the
+// shared one. Scan loops call this once per pruning decision cluster
+// (not per item) so the atomic load stays off the innermost hot path.
+// A nil receiver returns local unchanged.
+func (s *SharedThreshold) Floor(local float64) float64 {
+	if s == nil {
+		return local
+	}
+	u := s.bits.Load()
+	if u == 0 {
+		return local
+	}
+	if g := decodeOrdered(u); g > local {
+		return g
+	}
+	return local
+}
+
+// Publish raises the shared threshold to t if t is larger than the
+// current value. Callers must only publish valid global lower bounds —
+// in practice, a shard's collector threshold AFTER the collector is
+// full. NaN and a nil receiver are ignored.
+func (s *SharedThreshold) Publish(t float64) {
+	if s == nil || math.IsNaN(t) {
+		return
+	}
+	enc := encodeOrdered(t)
+	for {
+		cur := s.bits.Load()
+		if cur != 0 && cur >= enc {
+			return
+		}
+		if s.bits.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSharedThresholdZeroAndNil(t *testing.T) {
+	var nilS *SharedThreshold
+	if got := nilS.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("nil Load = %v, want -Inf", got)
+	}
+	if got := nilS.Floor(2.5); got != 2.5 {
+		t.Fatalf("nil Floor(2.5) = %v, want 2.5", got)
+	}
+	nilS.Publish(3) // must not panic
+
+	var s SharedThreshold
+	if got := s.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("fresh Load = %v, want -Inf", got)
+	}
+	if got := s.Floor(-7); got != -7 {
+		t.Fatalf("fresh Floor(-7) = %v, want -7", got)
+	}
+}
+
+func TestSharedThresholdMonotoneMax(t *testing.T) {
+	var s SharedThreshold
+	seq := []float64{-5, -2.5, -2.5, 3, 1, 3.0001, math.Inf(-1), 0, -0.0, 3.0001}
+	max := math.Inf(-1)
+	for _, v := range seq {
+		s.Publish(v)
+		if v > max {
+			max = v
+		}
+		if got := s.Load(); got != max {
+			t.Fatalf("after Publish(%v): Load = %v, want %v", v, got, max)
+		}
+	}
+	s.Publish(math.NaN())
+	if got := s.Load(); got != max {
+		t.Fatalf("NaN publish changed threshold to %v", got)
+	}
+	if got := s.Floor(100); got != 100 {
+		t.Fatalf("Floor(100) = %v, want local 100", got)
+	}
+	if got := s.Floor(-100); got != max {
+		t.Fatalf("Floor(-100) = %v, want shared %v", got, max)
+	}
+}
+
+func TestSharedThresholdOrderEncoding(t *testing.T) {
+	// The order-preserving encoding must agree with float order across
+	// sign boundaries, infinities, and subnormals.
+	vals := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1,
+		math.MaxFloat64, math.Inf(1),
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			ei, ej := encodeOrdered(vals[i]), encodeOrdered(vals[j])
+			if (vals[i] < vals[j]) != (ei < ej) && vals[i] != vals[j] {
+				t.Fatalf("encoding order broken: %v vs %v -> %#x vs %#x", vals[i], vals[j], ei, ej)
+			}
+			if ei == 0 {
+				t.Fatalf("encodeOrdered(%v) = 0, collides with the unset sentinel", vals[i])
+			}
+		}
+		if back := decodeOrdered(encodeOrdered(vals[i])); back != vals[i] && !(back == 0 && vals[i] == 0) {
+			t.Fatalf("round-trip %v -> %v", vals[i], back)
+		}
+	}
+}
+
+func TestSharedThresholdConcurrentPublish(t *testing.T) {
+	var s SharedThreshold
+	const goroutines = 8
+	const per = 2000
+	rng := rand.New(rand.NewSource(20260806))
+	inputs := make([][]float64, goroutines)
+	max := math.Inf(-1)
+	for g := range inputs {
+		inputs[g] = make([]float64, per)
+		for i := range inputs[g] {
+			v := rng.NormFloat64() * 100
+			inputs[g][i] = v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(vs []float64) {
+			defer wg.Done()
+			for _, v := range vs {
+				s.Publish(v)
+			}
+		}(inputs[g])
+	}
+	wg.Wait()
+	if got := s.Load(); got != max {
+		t.Fatalf("after concurrent publishes: Load = %v, want %v", got, max)
+	}
+}

@@ -77,6 +77,16 @@ type Config struct {
 	// at the faults.SiteServerSearch / SiteServerMutate / SiteScan sites.
 	// Production servers leave it nil, which costs one nil check.
 	Faults *faults.Registry
+
+	// Shards splits the dynamic index into that many independent catalog
+	// shards (DESIGN.md §11): a single Add or Delete only ever rebuilds
+	// the one shard owning the item, and each search fans out across the
+	// shards through the sharded execution engine before merging into
+	// the exact global top-k. Values ≤ 1 keep the monolithic index.
+	Shards int
+	// SearchWorkers bounds the per-query goroutine pool when Shards > 1
+	// (≤ 0 means GOMAXPROCS, clamped to Shards). Ignored for Shards ≤ 1.
+	SearchWorkers int
 }
 
 // Server is the HTTP handler set over one dynamic index.
@@ -117,7 +127,11 @@ func New(initial *vec.Matrix, opts core.Options) (*Server, error) {
 
 // NewWithConfig builds a server with explicit observability wiring.
 func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server, error) {
-	idx, err := core.NewDynamicIndex(initial, opts, 0)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	idx, err := core.NewDynamicIndexSharded(initial, opts, 0, shards, cfg.SearchWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +170,12 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 			"End-to-end HTTP request latency in seconds.", nil, obs.L("route", route))
 	}
 	s.items.Set(float64(idx.Len()))
+	if shards > 1 {
+		// Per-shard scan wall time (fexipro_shard_scan_seconds), labeled
+		// by shard index; the per-shard stage counters already flow into
+		// the cumulative SearchRecorder totals via the engine's merge.
+		idx.SetShardObserver(obs.ShardScanObserver(reg, opts.Variant()))
+	}
 
 	// Guard stack wiring (middleware in guard.go).
 	if cfg.MaxConcurrent > 0 {
@@ -532,7 +552,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := s.idx.Len()
 	s.mu.Unlock()
-	writeJSON(w, map[string]any{"items": n, "dim": s.dim})
+	writeJSON(w, map[string]any{"items": n, "dim": s.dim, "shards": s.idx.Shards()})
 }
 
 func toResultsJSON(rs []topk.Result) []resultJSON {

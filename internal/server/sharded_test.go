@@ -1,0 +1,83 @@
+package server_test
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fexipro/internal/core"
+	"fexipro/internal/scan"
+	"fexipro/internal/server"
+	"fexipro/internal/vec"
+)
+
+// TestShardedServer pins the serving-side sharding contract: a server
+// built with Config.Shards answers /v1/info with the shard count, its
+// search results stay exact (equal to the naive scan), and the
+// per-shard scan histogram appears in the Prometheus exposition.
+func TestShardedServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260817))
+	items := vec.NewMatrix(150, 8)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	srv, err := server.NewWithConfig(items, core.Options{SVD: true, Int: true, Reduction: true},
+		server.Config{Shards: 3, SearchWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := decode[map[string]any](t, resp)
+	if info["shards"].(float64) != 3 {
+		t.Fatalf("info = %v, want shards 3", info)
+	}
+
+	naive := scan.NewNaive(items)
+	for trial := 0; trial < 5; trial++ {
+		q := make([]float64, 8)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		sresp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 7})
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("search status %d", sresp.StatusCode)
+		}
+		got := decode[searchResp](t, sresp)
+		want := naive.Search(q, 7)
+		if len(got.Results) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got.Results), len(want))
+		}
+		for i := range want {
+			if got.Results[i].ID != want[i].ID {
+				t.Fatalf("trial %d rank %d: id %d, want %d", trial, i, got.Results[i].ID, want[i].ID)
+			}
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	_ = mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "fexipro_shard_scan_seconds") {
+		t.Fatal("metrics exposition is missing fexipro_shard_scan_seconds")
+	}
+	for _, shard := range []string{`shard="0"`, `shard="1"`, `shard="2"`} {
+		if !strings.Contains(string(body), shard) {
+			t.Fatalf("metrics exposition is missing label %s", shard)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCanonicalTieDisplacement: with the heap full, a candidate tying
+// the threshold score enters iff its ID is smaller than the retained
+// tied item's — the canonical (score desc, ID asc) order.
+func TestCanonicalTieDisplacement(t *testing.T) {
+	c := New(2)
+	c.Push(5, 1.0)
+	c.Push(9, 2.0)
+	// Tie with the worst retained item (id 5, score 1): higher ID loses…
+	if c.Push(7, 1.0) {
+		t.Fatal("id 7 tying score 1.0 displaced id 5 — canonical order broken")
+	}
+	// …lower ID wins.
+	if !c.Push(3, 1.0) {
+		t.Fatal("id 3 tying score 1.0 should displace id 5")
+	}
+	got := c.Results()
+	want := []Result{{ID: 9, Score: 2.0}, {ID: 3, Score: 1.0}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCanonicalOrderInvariance: the retained set must be a pure
+// function of the offered multiset — any push order yields identical
+// Results, even with many exact ties.
+func TestCanonicalOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	type cand struct {
+		id    int
+		score float64
+	}
+	// Scores drawn from a tiny set to force heavy tying.
+	base := make([]cand, 40)
+	for i := range base {
+		base[i] = cand{id: i, score: float64(rng.Intn(4))}
+	}
+	ref := New(7)
+	for _, x := range base {
+		ref.Push(x.id, x.score)
+	}
+	want := ref.Results()
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(base))
+		c := New(7)
+		for _, p := range perm {
+			c.Push(base[p].id, base[p].score)
+		}
+		got := c.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v (push order changed the retained set)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCanonicalShardMerge: merging per-shard top-k collectors into a
+// global collector must equal collecting everything in one pass — the
+// merge identity the sharded engine relies on.
+func TestCanonicalShardMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, k := 200, 9
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = float64(rng.Intn(20)) // ties guaranteed
+	}
+	single := New(k)
+	for i, s := range scores {
+		single.Push(i, s)
+	}
+	want := single.Results()
+	for _, shards := range []int{2, 3, 7} {
+		merged := New(k)
+		per := (n + shards - 1) / shards
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			local := New(k)
+			for i := lo; i < hi; i++ {
+				local.Push(i, scores[i])
+			}
+			for _, r := range local.Results() {
+				merged.Push(r.ID, r.Score)
+			}
+		}
+		got := merged.Results()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("S=%d: merged result %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

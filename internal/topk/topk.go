@@ -21,9 +21,30 @@ type Result struct {
 
 // Collector accumulates the k largest-scoring items seen so far.
 // The zero value is not usable; call New.
+//
+// The heap is ordered by the CANONICAL total order shared with
+// SortResults: higher score wins, exact score ties are won by the
+// LOWER ID. This matters for sharded execution (DESIGN.md §11): when S
+// shards each collect a local top-k and the engine merges them, the
+// retained set at every tie boundary must be independent of scan order
+// and shard count. With the canonical order the k retained items are a
+// pure function of the offered (id, score) multiset, so S=1 and S>1
+// runs are bit-identical even on degenerate inputs (duplicate rows,
+// all-zero queries) where many exact ties occur.
 type Collector struct {
 	k     int
-	items []Result // min-heap on Score
+	items []Result // min-heap: root is the canonically worst retained item
+}
+
+// worse reports whether a ranks strictly below b in the canonical order
+// (score descending, ties by ascending ID). The exact float compare is
+// deliberate: it defines the deterministic total order, not a tolerance
+// test.
+func worse(a, b Result) bool {
+	if a.Score != b.Score { //lint:ignore floatcmp exact compare defines the deterministic total order
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
 }
 
 // New returns a collector retaining the k best results. k must be ≥ 0;
@@ -56,20 +77,26 @@ func (c *Collector) Threshold() float64 {
 }
 
 // Push offers a candidate. It returns true if the candidate entered the
-// top-k (displacing the current minimum if the heap was full).
+// top-k (displacing the canonically worst retained item if the heap was
+// full). When the heap is full, a candidate enters iff it ranks
+// strictly above the root in the canonical order — in particular a
+// candidate that exactly ties the threshold score displaces the root
+// only when its ID is smaller, keeping the retained set scan-order
+// independent.
 func (c *Collector) Push(id int, score float64) bool {
 	if c.k == 0 {
 		return false
 	}
+	cand := Result{ID: id, Score: score}
 	if len(c.items) < c.k {
-		c.items = append(c.items, Result{ID: id, Score: score})
+		c.items = append(c.items, cand)
 		c.siftUp(len(c.items) - 1)
 		return true
 	}
-	if score <= c.items[0].Score {
+	if !worse(c.items[0], cand) {
 		return false
 	}
-	c.items[0] = Result{ID: id, Score: score}
+	c.items[0] = cand
 	c.siftDown(0)
 	return true
 }
@@ -104,7 +131,7 @@ func (c *Collector) Reset() { c.items = c.items[:0] }
 func (c *Collector) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if c.items[parent].Score <= c.items[i].Score {
+		if !worse(c.items[i], c.items[parent]) {
 			return
 		}
 		c.items[parent], c.items[i] = c.items[i], c.items[parent]
@@ -116,17 +143,17 @@ func (c *Collector) siftDown(i int) {
 	n := len(c.items)
 	for {
 		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && c.items[l].Score < c.items[smallest].Score {
-			smallest = l
+		worst := i
+		if l < n && worse(c.items[l], c.items[worst]) {
+			worst = l
 		}
-		if r < n && c.items[r].Score < c.items[smallest].Score {
-			smallest = r
+		if r < n && worse(c.items[r], c.items[worst]) {
+			worst = r
 		}
-		if smallest == i {
+		if worst == i {
 			return
 		}
-		c.items[i], c.items[smallest] = c.items[smallest], c.items[i]
-		i = smallest
+		c.items[i], c.items[worst] = c.items[worst], c.items[i]
+		i = worst
 	}
 }

@@ -59,6 +59,15 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Slice returns a view of rows [lo, hi) sharing the underlying storage.
+// Mutating the view mutates m. It panics if the range is out of bounds.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("vec: Slice [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // T returns a newly allocated transpose.
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)

@@ -7,6 +7,7 @@ import (
 	"fexipro/internal/batch"
 	"fexipro/internal/core"
 	"fexipro/internal/covertree"
+	"fexipro/internal/engine"
 	"fexipro/internal/lemp"
 	"fexipro/internal/pcatree"
 	"fexipro/internal/scan"
@@ -29,15 +30,30 @@ type Options struct {
 	// footprint); automatically falls back to int32 when E would
 	// overflow.
 	CompactInts bool
+	// Shards splits the index into that many contiguous partitions of
+	// the norm-sorted items, answered in parallel per query by the
+	// sharded execution engine and merged into the exact canonical
+	// top-k; results are bit-identical to the single-shard scan for
+	// every shard count. Values ≤ 1 keep the classic sequential scan.
+	Shards int
+	// Workers bounds the per-query goroutine pool used when Shards > 1
+	// (≤ 0 means GOMAXPROCS, clamped to Shards). Ignored for Shards ≤ 1.
+	Workers int
 }
 
 // FEXIPRO is the framework's public handle: a preprocessed index plus a
-// single-threaded query executor. For concurrent querying, share the
-// index via Clone-free NewRetriever calls: each FEXIPRO value obtained
-// from Retriever() owns independent scratch state.
+// single-threaded query executor (or, with Options.Shards > 1, a
+// sharded execution engine that answers each query with a bounded
+// worker pool and merges per-shard heaps into the exact canonical
+// top-k; see DESIGN.md §11). For concurrent querying, share the index
+// via Clone-free Retriever() calls: each executor owns independent
+// scratch state.
 type FEXIPRO struct {
-	idx *core.Index
-	r   *core.Retriever
+	idx     *core.Index
+	r       *core.Retriever // Shards ≤ 1 path
+	eng     *engine.Engine  // Shards > 1 path (nil otherwise)
+	shards  int
+	workers int
 }
 
 // New preprocesses items (rows are item vectors; copied) into a FEXIPRO
@@ -59,28 +75,65 @@ func New(items *Matrix, opts Options) (*FEXIPRO, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FEXIPRO{idx: idx, r: core.NewRetriever(idx)}, nil
+	// The sequential retriever is always present: SearchAbove has no
+	// sharded path, and with Shards ≤ 1 it also answers Search.
+	f := &FEXIPRO{idx: idx, r: core.NewRetriever(idx), shards: 1, workers: opts.Workers}
+	if opts.Shards > 1 {
+		kern := core.NewSharded(idx, opts.Shards)
+		f.shards = kern.Shards() // clamped to the item count
+		f.eng = engine.New(kern, opts.Workers)
+	}
+	return f, nil
 }
 
 // Search implements Searcher.
 func (f *FEXIPRO) Search(q []float64, k int) []Result {
+	if f.eng != nil {
+		return convertResults(f.eng.Search(q, k))
+	}
 	return convertResults(f.r.Search(q, k))
 }
 
 // SearchContext implements Searcher: on cancellation it returns the
 // best-so-far partial top-k and an ErrDeadline-wrapping error.
 func (f *FEXIPRO) SearchContext(ctx context.Context, q []float64, k int) ([]Result, error) {
+	if f.eng != nil {
+		res, err := f.eng.SearchContext(ctx, q, k)
+		return convertResults(res), err
+	}
 	res, err := f.r.SearchContext(ctx, q, k)
 	return convertResults(res), err
 }
 
 // LastStats implements Searcher.
-func (f *FEXIPRO) LastStats() Stats { return convertStats(f.r.Stats()) }
+func (f *FEXIPRO) LastStats() Stats {
+	if f.eng != nil {
+		return convertStats(f.eng.Stats())
+	}
+	return convertStats(f.r.Stats())
+}
 
 // Retriever returns an additional query executor sharing this index;
-// each executor may be used from one goroutine at a time.
+// each executor may be used from one goroutine at a time. The executor
+// inherits the instance's shard configuration.
 func (f *FEXIPRO) Retriever() Searcher {
+	if f.shards > 1 {
+		return wrap{s: engine.New(core.NewSharded(f.idx, f.shards), f.workers)}
+	}
 	return wrap{s: core.NewRetriever(f.idx)}
+}
+
+// Shards reports the number of index shards answering each query (1 for
+// the classic sequential scan).
+func (f *FEXIPRO) Shards() int { return f.shards }
+
+// SearchWorkers reports the effective per-query worker-pool size (1 for
+// the classic sequential scan).
+func (f *FEXIPRO) SearchWorkers() int {
+	if f.eng == nil {
+		return 1
+	}
+	return f.eng.Workers()
 }
 
 // W reports the checking dimension chosen during preprocessing.
@@ -91,15 +144,26 @@ func (f *FEXIPRO) W() int { return f.idx.W() }
 // them across workers (≤ 0 for single-threaded). Results are in input
 // order.
 func (f *FEXIPRO) TopKAll(queries *Matrix, k, workers int) ([][]Result, error) {
-	raw, err := core.BatchTopK(f.idx, queries.m, k, workers)
-	if err != nil {
+	return f.TopKAllContext(context.Background(), queries, k, workers)
+}
+
+// TopKAllContext behaves like TopKAll but honours ctx: on cancellation
+// it stops promptly and returns the per-query lists completed so far
+// (unprocessed slots stay nil; the query cut short keeps its
+// best-so-far partial) together with an ErrDeadline-wrapping error. A
+// nil error flags every list as exact.
+func (f *FEXIPRO) TopKAllContext(ctx context.Context, queries *Matrix, k, workers int) ([][]Result, error) {
+	raw, err := core.BatchTopKContext(ctx, f.idx, queries.m, k, workers)
+	if raw == nil {
 		return nil, err
 	}
 	out := make([][]Result, len(raw))
 	for i, rs := range raw {
-		out[i] = convertResults(rs)
+		if rs != nil {
+			out[i] = convertResults(rs)
+		}
 	}
-	return out, nil
+	return out, err
 }
 
 var _ Searcher = (*FEXIPRO)(nil)
@@ -176,12 +240,28 @@ func (l *LEMP) LastStats() Stats { return convertStats(l.idx.Stats()) }
 
 // TopKJoin returns the top-k list for every query row.
 func (l *LEMP) TopKJoin(queries *Matrix, k int) [][]Result {
-	raw := l.idx.TopKJoin(queries.m, k)
+	out, _ := l.TopKJoinContext(context.Background(), queries, k, 1)
+	return out
+}
+
+// TopKJoinContext behaves like TopKJoin but honours ctx and shards the
+// query workload across workers (≤ 0 for single-threaded): on
+// cancellation it stops promptly and returns the per-query lists
+// completed so far (unprocessed slots stay nil; the query cut short
+// keeps its best-so-far partial) together with an ErrDeadline-wrapping
+// error. A nil error flags every list as exact.
+func (l *LEMP) TopKJoinContext(ctx context.Context, queries *Matrix, k, workers int) ([][]Result, error) {
+	raw, err := l.idx.TopKJoinContext(ctx, queries.m, k, workers)
+	if raw == nil {
+		return nil, err
+	}
 	out := make([][]Result, len(raw))
 	for i, rs := range raw {
-		out[i] = convertResults(rs)
+		if rs != nil {
+			out[i] = convertResults(rs)
+		}
 	}
-	return out
+	return out, err
 }
 
 var _ Searcher = (*LEMP)(nil)
