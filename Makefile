@@ -16,7 +16,7 @@ RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./int
 # one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: all verify build test check vet lint fmt-check precommit race race-subset fuzz-smoke bench bench-shard
+.PHONY: all verify build test check vet lint lint-race lint-fix-check fmt-check precommit race race-subset fuzz-smoke bench bench-shard
 
 all: check
 
@@ -32,17 +32,39 @@ test:
 ## check: verify + static analysis + formatting + race detector on the
 ## concurrency-sensitive subset (fast enough for a local loop; CI also
 ## runs the full `make race`).
-check: verify vet lint fmt-check race-subset
+check: verify vet lint lint-fix-check fmt-check race-subset
 
 vet:
 	$(GO) vet ./...
 
 ## lint: project-specific static analysis. fexlint enforces FEXIPRO's
-## exactness and telemetry invariants (float comparisons, stage-counter
-## discipline, RNG seeding, discarded errors, mutex/atomic copies).
-## Exits non-zero on any diagnostic; see DESIGN.md "Static analysis".
+## exactness, concurrency, and telemetry invariants (float comparisons,
+## stage-counter discipline, RNG seeding, discarded errors, mutex/atomic
+## copies, cancellable scan loops, kernel threshold contracts, lock-hold
+## discipline, //fex:hot allocation freedom, Search⇄SearchContext
+## parity). Exits 0 clean / 1 findings / 2 load error; findings in
+## .fexlint-baseline.json are suppressed-and-counted, anything new
+## fails. See DESIGN.md §12 "Static contracts".
 lint:
 	$(GO) run ./cmd/fexlint ./...
+
+## lint-race: the lint driver's own tests under the race detector — the
+## parallel loader (single-flight import cache, serialized stdlib
+## importer) and the parallel per-unit analysis phase are themselves
+## concurrency-sensitive code.
+lint-race:
+	$(GO) test -race ./internal/lint/...
+
+## lint-fix-check: assert `fexlint -fix` is a no-op on a clean tree —
+## every committed finding must be genuinely fixed, not merely fixable.
+lint-fix-check:
+	@log="$$($(GO) run ./cmd/fexlint -fix ./... 2>&1)"; status=$$?; \
+	if echo "$$log" | grep -q '^fexlint: fixed'; then \
+		echo "$$log"; \
+		echo "lint-fix-check: -fix rewrote files; commit real fixes, not fixable findings"; \
+		exit 1; \
+	fi; \
+	if [ $$status -ne 0 ]; then echo "$$log"; exit $$status; fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -5,12 +5,50 @@
 //
 // Usage:
 //
-//	fexlint [-json] [-analyzers a,b,...] [patterns...]
+//	fexlint [-json] [-fix] [-analyzers a,b,...] [-baseline FILE]
+//	        [-write-baseline] [patterns...]
 //
-// Patterns default to ./... relative to the enclosing module. Exit
-// status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+// Patterns default to ./... relative to the enclosing module.
 //
-// Suppress a finding with a trailing or preceding line comment:
+// Exit status (a contract scripts may rely on):
+//
+//	0  clean — no diagnostics after baseline suppression (and after
+//	   fixes, when -fix was given)
+//	1  diagnostics reported
+//	2  load or usage error (bad flags, unparseable source, type errors)
+//
+// -fix applies every machine-applicable suggested fix in place and then
+// reports only the findings that remain; fix application is idempotent
+// (a second -fix pass rewrites nothing).
+//
+// -baseline names a grandfathered-findings file (default
+// .fexlint-baseline.json at the module root; a missing file is an empty
+// baseline). Matching findings are suppressed and counted instead of
+// reported, so legacy debt is visible without failing the build, while
+// anything new still exits 1. -write-baseline records the current
+// findings to that file and exits 0 — the adoption entry point.
+//
+// -json emits one object:
+//
+//	{
+//	  "diagnostics": [
+//	    {
+//	      "analyzer": "kernelcontract",
+//	      "file": "internal/core/retrieve.go",   // cwd-relative
+//	      "line": 150, "col": 24,
+//	      "message": "...",
+//	      "fixes": [                             // omitted when empty
+//	        {"message": "replace <= with <",
+//	         "edits": [{"file": "...", "offset": 123, "end": 125,
+//	                    "new_text": "<"}]}        // byte offsets, End exclusive
+//	      ]
+//	    }
+//	  ],
+//	  "count": 1,                // diagnostics after suppression
+//	  "baseline_suppressed": 0   // findings absorbed by the baseline
+//	}
+//
+// Suppress a single finding with a trailing or preceding line comment:
 //
 //	//lint:ignore <analyzer> reason
 package main
@@ -34,6 +72,9 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place")
+	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (default: <module>/.fexlint-baseline.json)")
+	writeBaseline := fs.Bool("write-baseline", false, "record current findings to the baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +100,11 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "fexlint:", err)
 		return 2
 	}
+	root := loader.ModuleRoot()
+	if *baselinePath == "" {
+		*baselinePath = filepath.Join(root, ".fexlint-baseline.json")
+	}
+
 	units, err := loader.Load(fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fexlint:", err)
@@ -76,16 +122,57 @@ func run(args []string) int {
 	}
 
 	diags := lint.Run(units, analyzers)
+
+	if *writeBaseline {
+		if err := lint.WriteBaseline(*baselinePath, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "fexlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fexlint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return 0
+	}
+
+	baseline, err := lint.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+	diags, suppressed := baseline.Filter(root, diags)
+
+	if *fix {
+		changed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fexlint:", err)
+			return 2
+		}
+		for _, f := range changed {
+			fmt.Fprintf(os.Stderr, "fexlint: fixed %s\n", relTo(cwd, f))
+		}
+		// Fixed findings are gone from the tree; report the rest.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
 	for i := range diags {
-		if rel, err := filepath.Rel(cwd, diags[i].File); err == nil && !filepath.IsAbs(rel) {
-			diags[i].File = rel
+		diags[i].File = relTo(cwd, diags[i].File)
+		for j := range diags[i].Fixes {
+			for k := range diags[i].Fixes[j].Edits {
+				e := &diags[i].Fixes[j].Edits[k]
+				e.File = relTo(cwd, e.File)
+			}
 		}
 	}
 	if *jsonOut {
 		out := struct {
-			Diagnostics []lint.Diagnostic `json:"diagnostics"`
-			Count       int               `json:"count"`
-		}{Diagnostics: diags, Count: len(diags)}
+			Diagnostics        []lint.Diagnostic `json:"diagnostics"`
+			Count              int               `json:"count"`
+			BaselineSuppressed int               `json:"baseline_suppressed"`
+		}{Diagnostics: diags, Count: len(diags), BaselineSuppressed: suppressed}
 		if out.Diagnostics == nil {
 			out.Diagnostics = []lint.Diagnostic{}
 		}
@@ -96,6 +183,9 @@ func run(args []string) int {
 			return 2
 		}
 	} else {
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "fexlint: %d finding(s) suppressed by %s\n", suppressed, relTo(cwd, *baselinePath))
+		}
 		for _, d := range diags {
 			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
@@ -104,4 +194,13 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// relTo maps path under base to a relative form for display, leaving
+// anything outside base untouched.
+func relTo(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
 }

@@ -27,7 +27,8 @@
 // -max-timeout); an expired deadline answers 504 {"code":"deadline"},
 // or — with -partial — 200 with the best-so-far results and
 // "exact": false. -max-concurrent sheds excess load with 429 and
-// Retry-After. Panics are recovered into 500s carrying the trace ID.
+// Retry-After. -max-k caps the per-request k to bound response sizes.
+// Panics are recovered into 500s carrying the trace ID.
 //
 // Sharding: -shards N splits the catalog into N independent shards
 // (stable mapping id mod N), so a single add or delete only rebuilds
@@ -81,6 +82,7 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 30*time.Second, "cap on the effective per-request deadline, including X-Timeout-Ms overrides (0 = uncapped)")
 		maxConcurrent = flag.Int("max-concurrent", 64, "in-flight /v1/ request limit; excess is shed with 429 (0 disables)")
 		partial       = flag.Bool("partial", false, "answer deadline expiry with 200 + best-so-far results flagged exact:false instead of 504")
+		maxK          = flag.Int("max-k", 0, "cap on per-request k to bound response sizes (0 = server default, 1000)")
 	)
 	flag.Parse()
 
@@ -119,6 +121,7 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		MaxConcurrent:     *maxConcurrent,
 		PartialOnDeadline: *partial,
+		MaxK:              *maxK,
 		Shards:            *shards,
 		SearchWorkers:     *searchWorkers,
 	})

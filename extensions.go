@@ -62,6 +62,14 @@ func (l *LEMP) SearchAbove(q []float64, t float64) []Result {
 	return convertResults(l.idx.SearchAbove(q, t))
 }
 
+// SearchAboveContext behaves like SearchAbove but honours ctx: on
+// cancellation it returns the (sorted) items found so far with an
+// ErrDeadline-wrapping error; the set may be missing qualifying items.
+func (l *LEMP) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]Result, error) {
+	res, err := l.idx.SearchAboveContext(ctx, q, t)
+	return convertResults(res), err
+}
+
 // AboveJoin answers the batch above-t task: for every query row, all
 // items with product ≥ t.
 func (l *LEMP) AboveJoin(queries *Matrix, t float64) [][]Result {

@@ -5,10 +5,12 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
 )
@@ -56,18 +58,35 @@ func New(items *vec.Matrix, opts Options) *MiniBatch {
 // TopKAll computes the top-k lists for every query row by multiplying
 // query batches against the item matrix and selecting per row.
 func (m *MiniBatch) TopKAll(queries *vec.Matrix, k int) [][]topk.Result {
+	out, _ := m.TopKAllContext(context.Background(), queries, k)
+	return out
+}
+
+// TopKAllContext behaves like TopKAll but honours ctx between batches:
+// a cancelled context returns the batches completed so far (unprocessed
+// query rows are nil) with an ErrDeadline-wrapping error. Every slot
+// that is filled holds the exact top-k for its query; cancellation
+// granularity is one batch (BatchSize GEMM rows), the unit of work the
+// blocked multiply cannot cheaply interrupt.
+func (m *MiniBatch) TopKAllContext(ctx context.Context, queries *vec.Matrix, k int) ([][]topk.Result, error) {
 	if queries.Cols != m.items.Cols {
 		panic(fmt.Sprintf("batch: query dim %d != item dim %d", queries.Cols, m.items.Cols))
 	}
 	out := make([][]topk.Result, queries.Rows)
+	done := ctx.Done()
 	for start := 0; start < queries.Rows; start += m.opts.BatchSize {
+		if done != nil && start > 0 {
+			if err := ctx.Err(); err != nil {
+				return out, search.Canceled(err)
+			}
+		}
 		end := start + m.opts.BatchSize
 		if end > queries.Rows {
 			end = queries.Rows
 		}
 		m.processBatch(queries, start, end, k, out)
 	}
-	return out
+	return out, nil
 }
 
 // processBatch multiplies queries[start:end] with the item matrix and

@@ -325,6 +325,9 @@ func (k *dynKernel) Scan(ctx context.Context, pq any, shard int, c *topk.Collect
 	// engine's shared threshold.
 	inner := topk.New(c.K() + sh.deadInMain)
 	err := sh.main.scanRange(ctx, hook, dq.states[shard], 0, sh.main.n, inner, shared, &st)
+	// The merge below is bounded by the k+deadInMain results the inner
+	// collector retained; the cancellable work happened in scanRange.
+	//lint:ignore ctxpoll bounded merge of ≤ k+deadInMain retained results
 	for _, r := range inner.Results() {
 		id := sh.mainIDs[r.ID]
 		if di.dead[id] {

@@ -139,6 +139,7 @@ func (r *Retriever) SearchContext(ctx context.Context, q []float64, k int) ([]to
 func (idx *Index) scanRange(ctx context.Context, hook *faults.Hook, qs *queryState, lo, hi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
 	slack := idx.opts.PruneSlack
 	done := ctx.Done()
+	//fex:hot
 	for i := lo; i < hi; i++ {
 		local := i - lo
 		if hook != nil || (done != nil && local&search.StrideMask == 0) {

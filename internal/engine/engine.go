@@ -162,6 +162,10 @@ func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.
 	for s := 0; s < shards; s++ {
 		o := &outs[s]
 		e.stats.Add(o.st)
+		// This push loop is bounded by O(shards·k) retained results, not
+		// the catalog size — cancellation already happened inside the
+		// shard scans, so a poll here would only delay the merge.
+		//lint:ignore ctxpoll bounded merge of ≤ shards·k retained results
 		for _, r := range o.res {
 			merged.Push(r.ID, r.Score)
 		}

@@ -1,9 +1,11 @@
 package lemp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"fexipro/internal/faults"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -14,23 +16,44 @@ import (
 // decreasing max-norm order and the scan stops at the first bucket whose
 // best possible product is below t.
 func (idx *Index) SearchAbove(q []float64, t float64) []topk.Result {
+	res, _ := idx.SearchAboveContext(context.Background(), q, t)
+	return res
+}
+
+// SearchAboveContext behaves like SearchAbove but honours ctx: the
+// bucket scan polls cancellation every search.CheckStride items (and on
+// every item when a fault hook is installed) and returns the (sorted)
+// qualifying items found so far with an ErrDeadline-wrapping error. On
+// cancellation the set may be missing qualifying items, but every
+// returned score is a true inner product.
+func (idx *Index) SearchAboveContext(ctx context.Context, q []float64, t float64) ([]topk.Result, error) {
 	if len(q) != idx.d {
 		panic(fmt.Sprintf("lemp: query dim %d != item dim %d", len(q), idx.d))
 	}
 	idx.stats = search.Stats{}
 	qNorm := vec.Norm(q)
+	done := ctx.Done()
+	hook := idx.hook
+	pos := 0
 	var out []topk.Result
 	if qNorm == 0 {
 		if t <= 0 {
 			for bi := range idx.buckets {
 				b := &idx.buckets[bi]
 				for _, id := range b.ids {
+					if hook != nil || (done != nil && pos&search.StrideMask == 0) {
+						if err := search.Poll(ctx, hook, pos); err != nil {
+							topk.SortResults(out)
+							return out, err
+						}
+					}
+					pos++
 					out = append(out, topk.Result{ID: id, Score: 0})
 				}
 			}
 			topk.SortResults(out)
 		}
-		return out
+		return out, nil
 	}
 	qUnit := vec.Scaled(q, 1/qNorm)
 
@@ -42,21 +65,30 @@ func (idx *Index) SearchAbove(q []float64, t float64) []topk.Result {
 			}
 			break
 		}
-		idx.scanBucketAbove(b, qUnit, qNorm, t, &out)
+		if err := idx.scanBucketAbove(ctx, hook, done, &pos, b, qUnit, qNorm, t, &out); err != nil {
+			topk.SortResults(out)
+			return out, err
+		}
 	}
 	topk.SortResults(out)
-	return out
+	return out, nil
 }
 
-func (idx *Index) scanBucketAbove(b *bucket, qUnit []float64, qNorm, t float64, out *[]topk.Result) {
+func (idx *Index) scanBucketAbove(ctx context.Context, hook *faults.Hook, done <-chan struct{}, pos *int, b *bucket, qUnit []float64, qNorm, t float64, out *[]topk.Result) error {
 	d := idx.d
 	w := b.w
 	qTail := vec.NormRange(qUnit, w, d)
 	for i := 0; i < b.unit.Rows; i++ {
+		if hook != nil || (done != nil && *pos&search.StrideMask == 0) {
+			if err := search.Poll(ctx, hook, *pos); err != nil {
+				return err
+			}
+		}
+		*pos++
 		lenBound := qNorm * b.norms[i]
 		if lenBound < t {
 			idx.stats.PrunedByLength += b.unit.Rows - i
-			return
+			return nil
 		}
 		idx.stats.Scanned++
 		theta := math.Inf(-1)
@@ -80,6 +112,7 @@ func (idx *Index) scanBucketAbove(b *bucket, qUnit []float64, qNorm, t float64, 
 			*out = append(*out, topk.Result{ID: b.ids[i], Score: v})
 		}
 	}
+	return nil
 }
 
 // AboveJoin answers the batch above-t task: for every query row, all

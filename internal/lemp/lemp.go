@@ -298,6 +298,7 @@ func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan
 	d := idx.d
 	w := b.w
 	qTail := vec.NormRange(qs.qUnit, w, d)
+	//fex:hot
 	for i := 0; i < b.unit.Rows; i++ {
 		if hook != nil || (done != nil && *pos&search.StrideMask == 0) {
 			if err := search.Poll(ctx, hook, *pos); err != nil {

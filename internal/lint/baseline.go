@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry records known findings for one (analyzer, file, message)
+// key. Count bounds how many identical findings the baseline absorbs;
+// the line number is deliberately NOT part of the key so unrelated edits
+// shifting a file do not invalidate the baseline.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a set of grandfathered findings for incremental adoption:
+// `fexlint -write-baseline` records the current findings, and later
+// runs with `-baseline` suppress exactly those, so new findings still
+// fail the build while old ones are burned down over time. The tree
+// ships an EMPTY baseline — the file exists so the workflow is wired,
+// and any entry appearing in it is a visible, reviewable debt marker.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// baselineKey joins the identity fields of one entry.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline and no error, so a repo without one behaves identically to
+// one with the empty baseline committed.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Count <= 0 {
+			return nil, fmt.Errorf("lint: baseline %s: entry %d is malformed (need analyzer, file, count > 0)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// Filter splits diags into (kept, suppressedCount): each baseline entry
+// absorbs up to Count matching diagnostics. Diagnostic file paths are
+// relativized against root before matching, mirroring how
+// WriteBaseline records them.
+func (b *Baseline) Filter(root string, diags []Diagnostic) ([]Diagnostic, int) {
+	if b == nil || len(b.Entries) == 0 {
+		return diags, 0
+	}
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var kept []Diagnostic
+	suppressed := 0
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relPath(root, d.File), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// WriteBaseline records diags (relativized against root) as a baseline
+// file with deterministic ordering, so the file diffs cleanly.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, relPath(root, d.File), d.Message}]++
+	}
+	b := Baseline{Entries: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// relPath maps an absolute diagnostic path to the module-root-relative,
+// slash-separated form used inside baseline files.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,507 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll enforces DESIGN.md §10's cancellation contract: every
+// item-scan loop reachable from a context-carrying entry point
+// (SearchContext, SearchAboveContext, TopK*Context, BatchTopKContext,
+// or a kernel-shaped Scan) must poll cancellation on a CheckStride
+// boundary. A scan loop is a for/range whose body directly offers
+// candidates (Collector.Push), accumulates results (append of
+// topk.Result), or recurses (tree descents). The poll may live in the
+// loop itself, in an enclosing loop (the chunked-scan idiom), or at
+// function entry before any loop (the per-node tree-descent idiom);
+// loops that only run when ctx.Done() == nil (the guard-free fast path)
+// are exempt. Without a poll, a deadline or client disconnect cannot
+// stop the scan — the exact failure mode PR 3's serving guards exist to
+// prevent.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "scan loops reachable from SearchContext/Scan must poll cancellation every CheckStride items",
+	Run:  runCtxPoll,
+}
+
+// ctxEntryNames are the function names that root the reachability walk.
+var ctxEntryNames = map[string]bool{
+	"SearchContext":      true,
+	"SearchAboveContext": true,
+	"TopKAllContext":     true,
+	"TopKJoinContext":    true,
+	"BatchTopKContext":   true,
+}
+
+func runCtxPoll(pass *Pass) {
+	// Index every function declaration by its *types.Func object so the
+	// call-graph walk can resolve same-unit static calls.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var entries []*ast.FuncDecl
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // test harnesses replay scans deliberately
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj != nil {
+				decls[obj] = fd
+			}
+			if ctxEntryNames[fd.Name.Name] || isKernelScanDecl(pass, fd) {
+				entries = append(entries, fd)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+
+	// Reachability: same-unit static call graph from the entry set.
+	reachable := make(map[*ast.FuncDecl]string) // decl -> rooting entry name
+	var walk func(fd *ast.FuncDecl, root string)
+	walk = func(fd *ast.FuncDecl, root string) {
+		if _, seen := reachable[fd]; seen {
+			return
+		}
+		reachable[fd] = root
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+			if id == nil {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if callee, ok := decls[obj]; ok {
+					walk(callee, root)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range entries {
+		walk(fd, fd.Name.Name)
+	}
+
+	for fd, root := range reachable {
+		checkScanLoops(pass, fd, root)
+	}
+}
+
+// isKernelScanDecl reports whether fd looks like engine.Kernel.Scan: a
+// method named Scan whose first parameter is a context.Context.
+func isKernelScanDecl(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Scan" || fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return false
+	}
+	return isContextType(pass.TypeOf(fd.Type.Params.List[0].Type))
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// checkScanLoops flags every unsatisfied scan loop in fd.
+func checkScanLoops(pass *Pass, fd *ast.FuncDecl, root string) {
+	entryPoll := hasEntryPoll(pass, fd)
+	var visit func(n ast.Node, ancestorPolled bool)
+	visit = func(n ast.Node, ancestorPolled bool) {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return // closures run on their own goroutine/schedule
+		case *ast.ForStmt, *ast.RangeStmt:
+			body := loopBody(s)
+			polled := containsPoll(pass, body)
+			if isScanLoop(pass, fd, body) &&
+				!polled && !ancestorPolled && !entryPoll && !guardedUncancellable(pass, fd, s) {
+				pass.Reportf(n.Pos(),
+					"scan loop reachable from %s cannot be cancelled: no search.Poll / ctx.Err / Done-channel check in this loop, an enclosing loop, or at function entry (DESIGN.md §10)",
+					root)
+			}
+			for _, st := range body.List {
+				visit(st, ancestorPolled || polled)
+			}
+			return
+		}
+		// Generic recursion over child statements.
+		children(n, func(c ast.Node) { visit(c, ancestorPolled) })
+	}
+	for _, st := range fd.Body.List {
+		visit(st, false)
+	}
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+// children invokes f for the statement-bearing children of n, without
+// descending into expressions (loops inside expressions only occur via
+// FuncLits, which are out of scope).
+func children(n ast.Node, f func(ast.Node)) {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			f(st)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f(s.Init)
+		}
+		f(s.Body)
+		if s.Else != nil {
+			f(s.Else)
+		}
+	case *ast.SwitchStmt:
+		f(s.Body)
+	case *ast.TypeSwitchStmt:
+		f(s.Body)
+	case *ast.SelectStmt:
+		f(s.Body)
+	case *ast.CaseClause:
+		for _, st := range s.Body {
+			f(st)
+		}
+	case *ast.CommClause:
+		for _, st := range s.Body {
+			f(st)
+		}
+	case *ast.LabeledStmt:
+		f(s.Stmt)
+	}
+}
+
+// isScanLoop reports whether body directly (not through a nested loop
+// or closure) does per-item work: offers to a Collector, accumulates
+// topk.Results, or recurses into the enclosing function.
+func isScanLoop(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Push" && isCollectorType(pass.TypeOf(fun.X)) {
+				found = true
+			}
+			if pass.Info.Uses[fun.Sel] != nil && pass.Info.Uses[fun.Sel] == pass.Info.Defs[fd.Name] {
+				found = true // recursive method call (tree descent)
+			}
+		case *ast.Ident:
+			if fun.Name == "append" && appendsResult(pass, call) {
+				found = true
+			}
+			if pass.Info.Uses[fun] != nil && pass.Info.Uses[fun] == pass.Info.Defs[fd.Name] {
+				found = true // recursive function call
+			}
+		}
+	})
+	return found
+}
+
+// shallowInspect walks body but does not descend into nested for/range
+// loops or function literals.
+func shallowInspect(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+// isCollectorType reports whether t is (a pointer to) a named type
+// called Collector — the top-k collector contract.
+func isCollectorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Collector"
+}
+
+// appendsResult reports whether an append call grows a slice of a type
+// named Result (topk.Result accumulation, the SearchAbove idiom).
+func appendsResult(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := pass.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := sl.Elem()
+	if p, ok := elem.(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	named, ok := elem.(*types.Named)
+	return ok && named.Obj().Name() == "Result"
+}
+
+// containsPoll reports whether block contains a cancellation check at
+// any depth, excluding closures: a call to a function named Poll, a
+// ctx.Err() call, or a receive from a Done channel (directly or in a
+// select).
+func containsPoll(pass *Pass, block *ast.BlockStmt) bool {
+	if block == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isPollCall(pass, e) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if isDoneReceive(pass, e) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isPollCall recognizes search.Poll-style calls and ctx.Err().
+func isPollCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return id.Name == "Poll"
+		}
+		return false
+	}
+	if sel.Sel.Name == "Poll" {
+		return true
+	}
+	if sel.Sel.Name == "Err" && isContextType(pass.TypeOf(sel.X)) {
+		return true
+	}
+	return false
+}
+
+// isDoneReceive recognizes `<-done` / `<-ctx.Done()` receives, where
+// done is a receive-only struct{} channel (the ctx.Done() shape).
+func isDoneReceive(pass *Pass, e *ast.UnaryExpr) bool {
+	if e.Op.String() != "<-" {
+		return false
+	}
+	return isDoneChanType(pass.TypeOf(e.X))
+}
+
+// isDoneChanType matches <-chan struct{}, the type of ctx.Done().
+func isDoneChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() != types.RecvOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// hasEntryPoll reports whether fd polls cancellation outside any loop —
+// the per-call poll of recursive tree descents, which covers every loop
+// in the function body (each node visit re-polls).
+func hasEntryPoll(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		if found {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return // polls inside loops/closures do not cover the whole call
+		case *ast.IfStmt:
+			// Both the condition and the guarded body count: the stride
+			// guard idiom wraps the Poll call in an if.
+			if exprHasPoll(pass, s.Cond) {
+				found = true
+				return
+			}
+			if s.Init != nil {
+				visit(s.Init)
+			}
+			visit(s.Body)
+			if s.Else != nil {
+				visit(s.Else)
+			}
+			return
+		case *ast.ExprStmt:
+			if exprHasPoll(pass, s.X) {
+				found = true
+			}
+			return
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				if exprHasPoll(pass, r) {
+					found = true
+				}
+			}
+			return
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if exprHasPoll(pass, r) {
+					found = true
+				}
+			}
+			return
+		case *ast.SelectStmt:
+			ast.Inspect(s, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && isDoneReceive(pass, u) {
+					found = true
+				}
+				return !found
+			})
+			return
+		}
+		children(n, visit)
+	}
+	for _, st := range fd.Body.List {
+		visit(st)
+		if found {
+			return true
+		}
+	}
+	return found
+}
+
+// exprHasPoll reports whether expr contains a poll call or Done receive.
+func exprHasPoll(pass *Pass, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isPollCall(pass, e) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if isDoneReceive(pass, e) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// guardedUncancellable reports whether loop only executes when the
+// context is not cancellable: it sits under an if/switch-case whose
+// condition requires a Done channel to be nil (`done == nil`), the
+// guard-free fast-path idiom of the Naive scan.
+func guardedUncancellable(pass *Pass, fd *ast.FuncDecl, loop ast.Node) bool {
+	// Collect the conditions of every if/case enclosing the loop.
+	var conds []ast.Expr
+	var path []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		if n == loop {
+			for i, anc := range path {
+				switch s := anc.(type) {
+				case *ast.IfStmt:
+					// Only the then-branch is guarded by the condition.
+					if i+1 < len(path) && path[i+1] == s.Body || (i+1 == len(path) && s.Body == loop) {
+						conds = append(conds, s.Cond)
+					}
+				case *ast.CaseClause:
+					conds = append(conds, s.List...)
+				}
+			}
+			return false
+		}
+		path = append(path, n)
+		return true
+	})
+	for _, cond := range conds {
+		if condRequiresNilDone(pass, cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condRequiresNilDone reports whether cond (possibly an && conjunction)
+// includes a `doneChan == nil` test.
+func condRequiresNilDone(pass *Pass, cond ast.Expr) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condRequiresNilDone(pass, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			return condRequiresNilDone(pass, e.X) || condRequiresNilDone(pass, e.Y)
+		case "==":
+			if isNilIdent(e.Y) && isDoneChanType(pass.TypeOf(e.X)) {
+				return true
+			}
+			if isNilIdent(e.X) && isDoneChanType(pass.TypeOf(e.Y)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// carries one and rewrites the affected files in place. Edits are
+// validated against the file length, sorted, and applied back-to-front
+// so earlier offsets stay valid; overlapping edits (two fixes touching
+// the same bytes) abort with an error before anything is written —
+// apply, re-lint, and fix again instead. Returns the files rewritten,
+// sorted. Fix application is idempotent by construction: a fixed site
+// no longer produces the diagnostic, so a second -fix pass sees no
+// edits (`make lint-fix-check` asserts exactly this).
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	perFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		for _, e := range d.Fixes[0].Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	// Validate everything before writing anything, so a bad edit in one
+	// file cannot leave the tree half-rewritten.
+	contents := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix: %w", err)
+		}
+		edits := perFile[f]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Offset != edits[j].Offset {
+				return edits[i].Offset < edits[j].Offset
+			}
+			return edits[i].End < edits[j].End
+		})
+		for i, e := range edits {
+			if e.Offset < 0 || e.End < e.Offset || e.End > len(data) {
+				return nil, fmt.Errorf("lint: fix: edit [%d,%d) out of range for %s (%d bytes)",
+					e.Offset, e.End, f, len(data))
+			}
+			if i > 0 && e.Offset < edits[i-1].End {
+				return nil, fmt.Errorf("lint: fix: overlapping edits at %s:%d and %s:%d — apply -fix again after the first pass",
+					f, edits[i-1].Offset, f, e.Offset)
+			}
+		}
+		out := make([]byte, 0, len(data))
+		prev := 0
+		for _, e := range edits {
+			out = append(out, data[prev:e.Offset]...)
+			out = append(out, e.NewText...)
+			prev = e.End
+		}
+		out = append(out, data[prev:]...)
+		contents[f] = out
+		perFile[f] = edits
+	}
+
+	var changed []string
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fix: %w", err)
+		}
+		if err := os.WriteFile(f, contents[f], info.Mode().Perm()); err != nil {
+			return nil, fmt.Errorf("lint: fix: %w", err)
+		}
+		changed = append(changed, f)
+	}
+	return changed, nil
+}

@@ -21,6 +21,12 @@ var fixtureCases = []struct {
 	{RNGSeed, "rngseed"},
 	{ErrCheck, "errcheck"},
 	{MutCopy, "mutcopy"},
+	{CtxPoll, "ctxpoll"},
+	{KernelContract, "kernelcontract"},
+	{KernelContract, "kernelcontract_uncovered"},
+	{LockHold, "lockhold"},
+	{HotAlloc, "hotalloc"},
+	{APIParity, "apiparity"},
 }
 
 // want is one expectation parsed from a `// want` comment.
@@ -71,16 +77,20 @@ func parseWants(t *testing.T, u *Unit) []*want {
 	return wants
 }
 
-// loadFixture type-checks one fixture package and fails the test on any
-// load or type error.
+// loadFixture type-checks one fixture tree (recursively, so multi-
+// package fixtures like apiparity's lib + cmd/apx layout work) and
+// fails the test on any load or type error.
 func loadFixture(t *testing.T, fixture string) []*Unit {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", fixture)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
 	loader, err := NewLoader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	units, err := loader.LoadDir(dir)
+	units, err := loader.Load(dir + "/...")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,8 +196,8 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerRegistry checks All()/ByName round-trips.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("expected 10 analyzers, got %d", len(all))
 	}
 	names := make([]string, len(all))
 	for i, a := range all {

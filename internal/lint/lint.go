@@ -1,7 +1,8 @@
-// Package lint is fexlint's engine: a stdlib-only static-analysis
-// framework (go/ast + go/parser + go/types, no external dependencies)
-// with a suite of project-specific analyzers that mechanically enforce
-// FEXIPRO's exactness and telemetry invariants:
+// Package lint is fexlint's engine: a stdlib-only whole-program
+// static-analysis framework (go/ast + go/parser + go/types, no external
+// dependencies) with a suite of project-specific analyzers that
+// mechanically enforce FEXIPRO's exactness, telemetry, and concurrency
+// invariants:
 //
 //   - floatcmp:      no ==/!= between floating-point expressions outside
 //     the allowlisted exact-zero idiom (Theorems 1–4 demand conservative
@@ -16,7 +17,31 @@
 //   - errcheck:      no silently discarded error results outside the
 //     explicit `_ =` and `defer Close` idioms;
 //   - mutcopy:       no by-value copies of types holding sync primitives
-//     or atomic fields, and no mixed atomic/plain access to a field.
+//     or atomic fields, and no mixed atomic/plain access to a field;
+//   - ctxpoll:       every item-scan loop reachable from a SearchContext
+//     / kernel Scan entry point must poll cancellation on a CheckStride
+//     boundary (DESIGN.md §10: scans must stay cancellable);
+//   - kernelcontract: engine.Kernel implementations must prune with
+//     strictly-conservative threshold comparisons, must not mutate
+//     kernel state inside Scan, and must be covered by a sharded_test.go
+//     invoking searchtest.CheckSharded (DESIGN.md §11 exactness);
+//   - lockhold:      index-mutex discipline — balanced Lock/Unlock,
+//     no blocking calls (channel ops, I/O, slog, Search*Context) while
+//     holding a mutex;
+//   - hotalloc:      no allocations, interface boxing, or closure
+//     captures inside loops marked //fex:hot;
+//   - apiparity:     exported Search ⇄ SearchContext (and SearchAbove ⇄
+//     SearchAboveContext) parity on every searcher, and every
+//     server/experiments Config field must be wired to a cmd flag.
+//
+// The driver type-checks package directories in parallel, runs each
+// analyzer's per-unit pass concurrently across units, then runs an
+// optional whole-program module phase over the facts the unit passes
+// exported (Pass.ExportFact → Analyzer.RunModule). Analyzers may attach
+// machine-applicable suggested fixes to diagnostics; `fexlint -fix`
+// applies them. A baseline file supports incremental adoption: known
+// findings recorded in the baseline are suppressed (and counted) until
+// fixed.
 //
 // Diagnostics can be suppressed per line with
 //
@@ -30,9 +55,27 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// TextEdit is one byte-range replacement in a file. Offsets are byte
+// offsets into the file's current content; End is exclusive.
+type TextEdit struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is a machine-applicable repair for a diagnostic,
+// applied by `fexlint -fix`.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
 
 // Diagnostic is one analyzer finding at a resolved source position.
 type Diagnostic struct {
@@ -42,6 +85,8 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+	// Fixes holds machine-applicable repairs (may be empty).
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -49,7 +94,32 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Fact is one unit of cross-package knowledge exported by a per-unit
+// pass and consumed by module-phase analysis (Analyzer.RunModule).
+// Facts are deliberately stringly-typed — (Name, Value) pairs at a
+// position — which keeps them trivially mergeable and sortable across
+// parallel unit passes.
+type Fact struct {
+	// UnitPath is the import path of the exporting unit.
+	UnitPath string
+	// Dir is the directory of the exporting unit, the natural join key
+	// for "package X must have a test in the same directory" contracts.
+	Dir string
+	// Analyzer is the exporting analyzer's name; module passes only see
+	// their own facts.
+	Analyzer string
+	// Name classifies the fact (e.g. "kernel", "checksharded",
+	// "config-field", "config-field-set").
+	Name string
+	// Value carries the payload (e.g. a type name or field key).
+	Value string
+	// Pos is the resolved source position the fact was exported at;
+	// module-phase diagnostics report here.
+	Pos token.Position
+}
+
+// Analyzer is one named check run over a type-checked package, with an
+// optional whole-program phase over exported facts.
 type Analyzer struct {
 	// Name is the identifier used in -analyzers and //lint:ignore.
 	Name string
@@ -57,10 +127,14 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the pass and reports diagnostics via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule, when non-nil, runs once after every unit pass has
+	// completed, over the facts this analyzer exported. Cross-package
+	// contracts (test-coverage requirements, flag parity) live here.
+	RunModule func(mp *ModulePass)
 }
 
-// Pass is one (analyzer, package) execution. It carries the syntax,
-// type information, and reporting sink.
+// Pass is one (analyzer, unit) execution. It carries the syntax, type
+// information, and reporting sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -70,13 +144,23 @@ type Pass struct {
 	// PkgPath is the import path of the unit being analyzed.
 	PkgPath string
 
-	unit *Unit
-	out  *[]Diagnostic
+	unit  *Unit
+	out   *[]Diagnostic
+	facts *[]Fact
 }
 
 // Reportf records a diagnostic at pos unless an ignore directive
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix records a diagnostic carrying a machine-applicable fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(pos, []SuggestedFix{fix}, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.unit.suppressed(p.Analyzer.Name, position) {
 		return
@@ -88,6 +172,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// ExportFact publishes a (name, value) fact at pos for this analyzer's
+// module phase.
+func (p *Pass) ExportFact(pos token.Pos, name, value string) {
+	*p.facts = append(*p.facts, Fact{
+		UnitPath: p.unit.Path,
+		Dir:      p.unit.Dir,
+		Analyzer: p.Analyzer.Name,
+		Name:     name,
+		Value:    value,
+		Pos:      p.Fset.Position(pos),
 	})
 }
 
@@ -102,6 +200,43 @@ func (p *Pass) TypeOf(expr ast.Expr) types.Type {
 		}
 	}
 	return nil
+}
+
+// Offset returns the byte offset of pos within its file, for building
+// TextEdits.
+func (p *Pass) Offset(pos token.Pos) int {
+	return p.Fset.Position(pos).Offset
+}
+
+// ModulePass is the whole-program phase of one analyzer: it sees the
+// facts every unit pass exported (its own only) and all loaded units,
+// and reports diagnostics at fact positions with the same //lint:ignore
+// suppression semantics as unit passes.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Units are all loaded units, in deterministic order.
+	Units []*Unit
+	// Facts are the facts exported by this analyzer's unit passes, in
+	// deterministic (unit, export) order.
+	Facts []Fact
+
+	byFile map[string]*Unit
+	out    *[]Diagnostic
+}
+
+// Reportf records a module-phase diagnostic at a resolved position.
+func (mp *ModulePass) Reportf(pos token.Position, format string, args ...any) {
+	if u := mp.byFile[pos.Filename]; u != nil && u.suppressed(mp.Analyzer.Name, pos) {
+		return
+	}
+	*mp.out = append(*mp.out, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -151,25 +286,74 @@ func (u *Unit) suppressed(analyzer string, pos token.Position) bool {
 	return false
 }
 
-// Run executes the analyzers over every unit and returns the combined,
-// position-sorted diagnostics.
+// Run executes the analyzers over every unit — unit passes in parallel,
+// then each analyzer's module phase over the exported facts — and
+// returns the combined, position-sorted diagnostics. Output is
+// deterministic regardless of scheduling: per-unit results land in
+// per-unit slots that are merged in unit order before the final sort.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, u := range units {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     u.Fset,
-				Files:    u.Files,
-				Pkg:      u.Pkg,
-				Info:     u.Info,
-				PkgPath:  u.Path,
-				unit:     u,
-				out:      &out,
+	type slot struct {
+		diags []Diagnostic
+		facts []Fact
+	}
+	slots := make([]slot, len(units))
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u *Unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := &slots[i]
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     u.Fset,
+					Files:    u.Files,
+					Pkg:      u.Pkg,
+					Info:     u.Info,
+					PkgPath:  u.Path,
+					unit:     u,
+					out:      &s.diags,
+					facts:    &s.facts,
+				}
+				a.Run(pass)
 			}
-			a.Run(pass)
+		}(i, u)
+	}
+	wg.Wait()
+
+	var out []Diagnostic
+	factsByAnalyzer := make(map[string][]Fact)
+	for i := range slots {
+		out = append(out, slots[i].diags...)
+		for _, f := range slots[i].facts {
+			factsByAnalyzer[f.Analyzer] = append(factsByAnalyzer[f.Analyzer], f)
 		}
 	}
+
+	byFile := make(map[string]*Unit)
+	for _, u := range units {
+		for _, f := range u.Files {
+			byFile[u.Fset.Position(f.Pos()).Filename] = u
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Units:    units,
+			Facts:    factsByAnalyzer[a.Name],
+			byFile:   byFile,
+			out:      &out,
+		}
+		a.RunModule(mp)
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -181,7 +365,10 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
 }
@@ -194,6 +381,11 @@ func All() []*Analyzer {
 		RNGSeed,
 		ErrCheck,
 		MutCopy,
+		CtxPoll,
+		KernelContract,
+		LockHold,
+		HotAlloc,
+		APIParity,
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Unit is one analyzable, type-checked set of files: a package together
@@ -38,6 +40,12 @@ type Unit struct {
 // invoking `go list`: intra-module imports resolve by path arithmetic
 // against the module root, everything else (the standard library) loads
 // through the compiler-independent source importer.
+//
+// The loader is safe for concurrent use: Load type-checks package
+// directories in parallel, and module-internal imports are built at
+// most once through a single-flight cache. A wait-for graph between
+// in-progress builds turns would-be deadlocks on cyclic import graphs
+// into "import cycle" errors.
 type Loader struct {
 	Fset *token.FileSet
 	// IncludeTests controls whether _test.go files join the units.
@@ -46,9 +54,84 @@ type Loader struct {
 	moduleRoot string
 	modulePath string
 	buildCtx   build.Context
-	std        types.Importer
-	cache      map[string]*types.Package // import-variant cache (no test files)
-	loading    map[string]bool           // import-cycle guard
+
+	// stdMu serializes the stdlib source importer, which is not
+	// documented as safe for concurrent use. Completed *types.Package
+	// values ARE safe for concurrent reads, so only the Import call
+	// itself is guarded.
+	stdMu sync.Mutex
+	std   types.Importer
+
+	// mu guards imports: the single-flight cache of module-internal
+	// import variants (built from non-test files only).
+	mu      sync.Mutex
+	imports map[string]*importEntry
+	waits   waitGraph
+}
+
+// importEntry is one single-flight slot: the first goroutine to request
+// a path builds it and closes done; everyone else waits on done.
+type importEntry struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
+// waitGraph records which in-progress package build is blocked on which
+// import. A cycle in the "X waits for Y" relation is exactly an import
+// cycle among packages currently being built, so checking reachability
+// before blocking converts deadlocks into errors — on a healthy Go tree
+// (acyclic imports) no edge insertion ever fails.
+type waitGraph struct {
+	mu    sync.Mutex
+	edges map[string]map[string]bool
+}
+
+// add records that from is blocked on to, or reports an import cycle if
+// doing so would close a loop.
+func (g *waitGraph) add(from, to string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if from == to || g.reaches(to, from) {
+		return fmt.Errorf("lint: import cycle through %q", to)
+	}
+	if g.edges == nil {
+		g.edges = make(map[string]map[string]bool)
+	}
+	if g.edges[from] == nil {
+		g.edges[from] = make(map[string]bool)
+	}
+	g.edges[from][to] = true
+	return nil
+}
+
+func (g *waitGraph) remove(from, to string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.edges[from], to)
+}
+
+// reaches reports whether dst is reachable from src. Callers hold g.mu.
+func (g *waitGraph) reaches(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.edges[n] {
+			if m == dst {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
 }
 
 // NewLoader locates the enclosing module of dir (via go.mod) and returns
@@ -71,8 +154,7 @@ func NewLoader(dir string) (*Loader, error) {
 		modulePath:   modPath,
 		buildCtx:     ctx,
 		std:          importer.ForCompiler(fset, "source", nil),
-		cache:        make(map[string]*types.Package),
-		loading:      make(map[string]bool),
+		imports:      make(map[string]*importEntry),
 	}, nil
 }
 
@@ -103,18 +185,37 @@ func findModule(dir string) (root, modPath string, err error) {
 
 // Load expands the patterns ("./...", "dir/...", plain directories) into
 // package directories and returns one Unit per package variant found.
+// Directories are type-checked in parallel (bounded by GOMAXPROCS);
+// unit order is deterministic regardless of scheduling.
 func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
 	dirs, err := l.expand(patterns)
 	if err != nil {
 		return nil, err
 	}
+	type result struct {
+		units []*Unit
+		err   error
+	}
+	results := make([]result, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			us, err := l.LoadDir(dir)
+			results[i] = result{units: us, err: err}
+		}(i, dir)
+	}
+	wg.Wait()
 	var units []*Unit
-	for _, dir := range dirs {
-		us, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		units = append(units, us...)
+		units = append(units, r.units...)
 	}
 	return units, nil
 }
@@ -285,7 +386,7 @@ func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
 	}
 	var basePkg *types.Package
 	if len(base) > 0 {
-		u, err := l.check(abs, path, df.pkgName, base, l)
+		u, err := l.check(abs, path, df.pkgName, base, pkgImporter{l: l, from: path})
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +396,11 @@ func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
 	}
 
 	if l.IncludeTests && len(df.extTest) > 0 {
-		imp := &testImporter{Loader: l, basePath: path, base: basePkg}
+		imp := &testImporter{
+			inner:    pkgImporter{l: l, from: path + "_test"},
+			basePath: path,
+			base:     basePkg,
+		}
 		u, err := l.check(abs, path+"_test", df.extName, df.extTest, imp)
 		if err != nil {
 			return nil, err
@@ -346,25 +451,90 @@ func (l *Loader) check(dir, path, pkgName string, files []string, imp types.Impo
 	return u, nil
 }
 
+// pkgImporter resolves imports on behalf of the package named from,
+// threading the importer identity into the loader's wait-for graph so
+// concurrent single-flight builds can detect import cycles.
+type pkgImporter struct {
+	l    *Loader
+	from string
+}
+
+func (ci pkgImporter) Import(path string) (*types.Package, error) {
+	return ci.l.importFrom(ci.from, path)
+}
+
 // Import implements types.Importer for intra-module and stdlib paths.
 // Module-internal packages are built from their non-test files, so
 // imports never observe test-only declarations.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.importFrom("", path)
+}
+
+// importFrom resolves path on behalf of from. Stdlib packages go
+// through the (serialized) source importer; module-internal packages go
+// through the single-flight cache: the first requester builds, everyone
+// else blocks on the entry — after registering a wait-for edge, so a
+// cyclic import graph produces an error instead of a deadlock.
+func (l *Loader) importFrom(from, path string) (*types.Package, error) {
 	if path == "C" {
 		return nil, fmt.Errorf("lint: cgo is not supported")
 	}
-	if pkg, ok := l.cache[path]; ok {
-		return pkg, nil
-	}
 	if path != l.modulePath && !strings.HasPrefix(path, l.modulePath+"/") {
-		return l.std.Import(path)
+		return l.importStd(path)
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %q", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
 
+	l.mu.Lock()
+	e, waiter := l.imports[path]
+	if e == nil {
+		e = &importEntry{done: make(chan struct{})}
+		l.imports[path] = e
+	}
+	l.mu.Unlock()
+
+	if waiter {
+		// Someone else owns (or finished) the build.
+		select {
+		case <-e.done:
+			return e.pkg, e.err
+		default:
+		}
+		if err := l.waits.add(from, path); err != nil {
+			return nil, err
+		}
+		defer l.waits.remove(from, path)
+		<-e.done
+		return e.pkg, e.err
+	}
+
+	// We own the build. Record the edge first so builds blocked on us
+	// transitively see the chain (and so a recursive self-import in the
+	// same goroutine errors out instead of waiting on itself).
+	if err := l.waits.add(from, path); err != nil {
+		e.err = err
+		close(e.done)
+		return nil, err
+	}
+	pkg, err := l.buildImport(path)
+	l.waits.remove(from, path)
+	e.pkg, e.err = pkg, err
+	close(e.done)
+	return pkg, err
+}
+
+// importStd resolves a non-module (stdlib or vendored-toolchain) path
+// through the shared source importer, which is not safe for concurrent
+// use and is therefore serialized. Its own package cache makes repeat
+// imports cheap; only the first import of each path pays for parsing.
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	return l.std.Import(path)
+}
+
+// buildImport type-checks the import variant (non-test files) of a
+// module-internal package. Called exactly once per path via the
+// single-flight cache.
+func (l *Loader) buildImport(path string) (*types.Package, error) {
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
 	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
 	df, err := l.scanDir(dir)
@@ -374,14 +544,13 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if len(df.normal) == 0 {
 		return nil, fmt.Errorf("lint: import %q: no Go files in %s", path, dir)
 	}
-	u, err := l.check(dir, path, df.pkgName, df.normal, l)
+	u, err := l.check(dir, path, df.pkgName, df.normal, pkgImporter{l: l, from: path})
 	if err != nil {
 		return nil, err
 	}
 	if len(u.TypeErrors) > 0 {
 		return nil, fmt.Errorf("lint: import %q: %v", path, u.TypeErrors[0])
 	}
-	l.cache[path] = u.Pkg
 	return u.Pkg, nil
 }
 
@@ -389,7 +558,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // variant, mirroring how `go test` compiles external test packages
 // against the in-package test build (export_test.go et al.).
 type testImporter struct {
-	*Loader
+	inner    types.Importer
 	basePath string
 	base     *types.Package
 }
@@ -398,5 +567,5 @@ func (t *testImporter) Import(path string) (*types.Package, error) {
 	if path == t.basePath && t.base != nil {
 		return t.base, nil
 	}
-	return t.Loader.Import(path)
+	return t.inner.Import(path)
 }

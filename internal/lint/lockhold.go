@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHold enforces index-mutex discipline (DESIGN.md §10/§12): the
+// server serializes index access behind a sync.Mutex, and the latency
+// budget of every request in the queue includes whatever runs while
+// that mutex is held. The analyzer checks, per function:
+//
+//   - every mu.Lock()/mu.RLock() is balanced by an Unlock — either a
+//     `defer mu.Unlock()` or a positionally later mu.Unlock() in the
+//     same function (cross-function lock handoff needs a
+//     //lint:ignore lockhold directive citing the protocol);
+//   - `defer mu.Lock()` — the classic typo for `defer mu.Unlock()` —
+//     is flagged with a suggested fix;
+//   - no blocking calls while the mutex is held: channel sends/receives
+//     and selects, time.Sleep, slog logging (a Handler may write to a
+//     blocked pipe), Search*/TopK*Context calls (a whole scan under the
+//     lock extends every queued request by a full scan), and calls
+//     through function-typed values (the callee is unknown, so the
+//     hold-time is unbounded; annotate the call site if the indirection
+//     is the documented design, as in server.searchLocked).
+//
+// The held region is the lexical span from the Lock to its matching
+// Unlock (or to function end under a defer). Function literals are not
+// analyzed as part of the region: they usually run after the function
+// returns.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "mutex discipline: balanced Lock/Unlock, no blocking calls while holding a lock",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // tests block on locks deliberately (race harnesses)
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLocks(pass, fd)
+		}
+	}
+}
+
+// lockCall is one Lock/RLock site in a function.
+type lockCall struct {
+	path   string // flattened receiver chain, e.g. "s.mu"
+	read   bool   // RLock
+	pos    token.Pos
+	end    token.Pos // end of held region (matching unlock or func end)
+	defers bool      // released via defer (region runs to func end)
+}
+
+func checkLocks(pass *Pass, fd *ast.FuncDecl) {
+	type event struct {
+		path    string
+		name    string    // Lock, RLock, Unlock, RUnlock
+		pos     token.Pos // call position
+		selPos  token.Pos // position of the method name ident
+		defered bool
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		defered := false
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			call = s.Call
+			defered = true
+		case *ast.CallExpr:
+			call = s
+		default:
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		if !isMutexType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		path := flattenChain(sel.X)
+		if path == "" {
+			return true
+		}
+		events = append(events, event{path: path, name: sel.Sel.Name, pos: call.Pos(), selPos: sel.Sel.Pos(), defered: defered})
+		return !defered // a DeferStmt's call was handled; skip re-visiting it
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	var regions []lockCall
+	used := make([]bool, len(events))
+	for i, ev := range events {
+		switch ev.name {
+		case "Lock", "RLock":
+			if ev.defered {
+				// defer mu.Lock() is almost certainly a typo for Unlock.
+				want := "Unlock"
+				if ev.name == "RLock" {
+					want = "RUnlock"
+				}
+				file := pass.Fset.Position(ev.pos).Filename
+				off := pass.Offset(ev.selPos)
+				pass.ReportFix(ev.pos, SuggestedFix{
+					Message: "replace defer " + ev.path + "." + ev.name + " with defer " + ev.path + "." + want,
+					Edits: []TextEdit{{
+						File:    file,
+						Offset:  off,
+						End:     off + len(ev.name),
+						NewText: want,
+					}},
+				}, "defer %s.%s() locks at function exit — almost certainly a typo for defer %s.%s()",
+					ev.path, ev.name, ev.path, want)
+				continue
+			}
+			region := lockCall{path: ev.path, read: ev.name == "RLock", pos: ev.pos, end: fd.Body.End()}
+			unlock := "Unlock"
+			if ev.name == "RLock" {
+				unlock = "RUnlock"
+			}
+			matched := false
+			for j := i + 1; j < len(events); j++ {
+				if used[j] || events[j].path != ev.path || events[j].name != unlock {
+					continue
+				}
+				used[j] = true
+				matched = true
+				if events[j].defered {
+					region.defers = true // runs to function end
+				} else {
+					region.end = events[j].pos
+				}
+				break
+			}
+			if !matched {
+				pass.Reportf(ev.pos,
+					"%s.%s() has no matching %s in this function — if the lock is handed off across functions, document the protocol with a //lint:ignore lockhold directive",
+					ev.path, ev.name, unlock)
+				continue
+			}
+			regions = append(regions, region)
+		case "Unlock", "RUnlock":
+			// Matched from the Lock side; stray unlocks (no earlier lock)
+			// are cross-function handoffs — out of scope.
+		}
+	}
+
+	for _, r := range regions {
+		flagBlockingInRegion(pass, fd, r)
+	}
+}
+
+// flagBlockingInRegion reports blocking operations between the lock and
+// its release.
+func flagBlockingInRegion(pass *Pass, fd *ast.FuncDecl, r lockCall) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n.Pos() <= r.pos || n.Pos() >= r.end {
+			// Outside the held span. Children may still overlap when the
+			// node straddles the region, so keep descending.
+			if n.End() <= r.pos || n.Pos() >= r.end {
+				return n.End() > r.pos // prune only fully-before subtrees
+			}
+			return true
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send while holding %s — a full channel stalls every caller queued on the mutex", r.path)
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				pass.Reportf(s.Pos(), "channel receive while holding %s — an empty channel stalls every caller queued on the mutex", r.path)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(s) {
+				pass.Reportf(s.Pos(), "blocking select while holding %s", r.path)
+			}
+			return false // comm clauses were judged as a unit
+		case *ast.CallExpr:
+			if msg := blockingCallMessage(pass, s); msg != "" {
+				pass.Reportf(s.Pos(), "%s while holding %s — move it after the unlock or document why with //lint:ignore lockhold", msg, r.path)
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether a select has a default clause (a
+// non-blocking poll).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCallMessage classifies a call as blocking-while-locked, or
+// returns "".
+func blockingCallMessage(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// slog logging: handlers may write to a blocked sink.
+		if isSlogValue(pass, fun.X) {
+			switch name {
+			case "Info", "Warn", "Error", "Debug", "Log", "InfoContext", "WarnContext", "ErrorContext", "DebugContext", "LogAttrs":
+				return "slog call (" + name + ")"
+			}
+		}
+		if id, ok := fun.X.(*ast.Ident); ok && id.Name == "time" && name == "Sleep" {
+			return "time.Sleep"
+		}
+		// A whole scan under the index mutex.
+		if isSearchEntryName(name) {
+			return name + " call (a full scan)"
+		}
+	case *ast.Ident:
+		// Calls through function-typed values: unknown, unbounded callee.
+		obj := pass.Info.Uses[fun]
+		if obj == nil {
+			return ""
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return "call through function value " + fun.Name + " (unbounded hold time)"
+			}
+		}
+	}
+	return ""
+}
+
+// isSearchEntryName matches the context-searcher entry points whose
+// calls are whole scans.
+func isSearchEntryName(name string) bool {
+	switch name {
+	case "SearchContext", "SearchAboveContext", "TopKAllContext", "TopKJoinContext", "BatchTopKContext":
+		return true
+	}
+	return false
+}
+
+// isSlogValue reports whether e is a *slog.Logger or the slog package.
+func isSlogValue(pass *Pass, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			return pkg.Imported().Path() == "log/slog"
+		}
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "log/slog" && named.Obj().Name() == "Logger"
+}
+
+// isMutexType matches sync.Mutex / sync.RWMutex (or pointers to them),
+// and named types embedding them is out of scope by design — the index
+// mutex is a plain field.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// flattenChain renders an ident/selector chain ("s.mu"); returns "" for
+// anything more exotic (map index, call result), which the analyzer
+// skips rather than misjudge.
+func flattenChain(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := flattenChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return flattenChain(x.X)
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+// Command apx is the cmd-side half of the apiparity fixture: it wires
+// lib.Config.Wired (composite literal) and lib.Config.Addr (field
+// assignment) so the module phase sees them as flag-reachable. All
+// `// want` expectations live in the lib package.
+package main
+
+import "fexipro/internal/lint/testdata/src/apiparity/lib"
+
+func main() {
+	cfg := lib.Config{Wired: 1}
+	cfg.Addr = "localhost:0"
+	_ = cfg
+}

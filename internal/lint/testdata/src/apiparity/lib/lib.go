@@ -1,0 +1,55 @@
+// Package lib is a fexlint golden fixture for apiparity: searcher
+// method parity within the package, plus Config-to-flag wiring joined
+// in the module phase against the cmd/apx unit in the sibling
+// directory.
+package lib
+
+import "context"
+
+// Finder has Search but no SearchContext: the serving deadline guards
+// cannot cancel its scans.
+type Finder struct{}
+
+// Search lacks a context-taking counterpart.
+func (Finder) Search(q []float64, k int) []int { return nil } // want `Finder.Search has no SearchContext counterpart`
+
+// Above pairs the above-t entry point the same way.
+type Above struct{}
+
+// SearchAbove lacks a context-taking counterpart.
+func (Above) SearchAbove(q []float64, t float64) []int { return nil } // want `Above.SearchAbove has no SearchAboveContext counterpart`
+
+// Paired exposes both forms: no diagnostic.
+type Paired struct{}
+
+// Search is paired with SearchContext below.
+func (Paired) Search(q []float64, k int) []int { return nil }
+
+// SearchContext completes the pair.
+func (Paired) SearchContext(ctx context.Context, q []float64, k int) ([]int, error) {
+	return nil, ctx.Err()
+}
+
+// helper is unexported: parity applies to exported searchers only.
+type helper struct{}
+
+func (helper) Search(q []float64, k int) []int { return nil }
+
+// NotASearcher has a Search method whose shape is not a retrieval entry
+// point (first parameter is not a []float64 query): exempt.
+type NotASearcher struct{}
+
+// Search here is a string lookup, not a vector scan.
+func (NotASearcher) Search(name string) int { return 0 }
+
+// Config: Wired and Addr are set by cmd/apx (composite literal and
+// field assignment); Unwired is reachable from no flag; Exempt
+// documents why it stays unwired; private fields are out of scope.
+type Config struct {
+	Wired   int
+	Addr    string
+	Unwired int // want `lib.Config.Unwired is not set by any cmd/ package`
+	//lint:ignore apiparity fixture: deliberately unwired to pin module-phase suppression
+	Exempt  int
+	private int
+}

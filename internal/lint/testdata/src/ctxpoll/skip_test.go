@@ -1,0 +1,16 @@
+package ctxpoll
+
+import "context"
+
+// testScanner lives in a _test.go file: ctxpoll must skip it even
+// though SearchContext has an unpolled scan loop (test harnesses replay
+// scans deliberately).
+type testScanner struct{ items [][]float64 }
+
+func (s *testScanner) SearchContext(ctx context.Context, q []float64, k int) []Result {
+	c := &Collector{}
+	for i := range s.items {
+		c.Push(i, 0)
+	}
+	return nil
+}

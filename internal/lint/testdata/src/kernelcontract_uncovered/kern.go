@@ -1,0 +1,28 @@
+// Package kernuncovered is a fexlint golden fixture: a structural
+// engine.Kernel in a package with NO sharded_test.go, so the module
+// phase must report the missing searchtest.CheckSharded coverage at the
+// Scan declaration.
+package kernuncovered
+
+import "context"
+
+// Collector mimics topk.Collector by name.
+type Collector struct{}
+
+// Push mimics the collector offer.
+func (c *Collector) Push(int, float64) bool { return true }
+
+// Kern structurally implements engine.Kernel.
+type Kern struct{}
+
+// Shards implements engine.Kernel.
+func (k *Kern) Shards() int { return 1 }
+
+// Prepare implements engine.Kernel.
+func (k *Kern) Prepare(q []float64) any { return nil }
+
+// Scan is contract-clean in isolation; only the missing sharded test
+// coverage is reported.
+func (k *Kern) Scan(ctx context.Context, pq any, c *Collector) error { // want `kernel type Kern has no sharded_test.go`
+	return ctx.Err()
+}

@@ -237,6 +237,8 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 }
 
 // get returns the series for labels, creating it with mk on first use.
+// mk runs before the write lock is taken (a losing racer's value is
+// discarded), keeping caller-supplied code out of the held region.
 func (f *family) get(labels []Label, mk func([]Label) any) any {
 	ls := normalizeLabels(labels)
 	key := seriesKey(ls)
@@ -246,15 +248,15 @@ func (f *family) get(labels []Label, mk func([]Label) any) any {
 	if ok {
 		return s
 	}
+	created := mk(ls)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if s, ok = f.series[key]; ok {
 		return s
 	}
-	s = mk(ls)
-	f.series[key] = s
+	f.series[key] = created
 	f.order = append(f.order, key)
-	return s
+	return created
 }
 
 // normalizeLabels copies and sorts labels by name for a canonical key.

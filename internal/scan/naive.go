@@ -72,6 +72,7 @@ func (n *Naive) scanRange(ctx context.Context, hook *faults.Hook, q []float64, l
 	done := ctx.Done()
 	switch {
 	case hook == nil && done == nil:
+		//fex:hot
 		for i := lo; i < hi; i++ {
 			c.Push(i, vec.Dot(q, n.items.Row(i)))
 		}
@@ -86,11 +87,13 @@ func (n *Naive) scanRange(ctx context.Context, hook *faults.Hook, q []float64, l
 			if end > hi {
 				end = hi
 			}
+			//fex:hot
 			for i := base; i < end; i++ {
 				c.Push(i, vec.Dot(q, n.items.Row(i)))
 			}
 		}
 	default:
+		//fex:hot
 		for i := lo; i < hi; i++ {
 			if err := search.Poll(ctx, hook, i-lo); err != nil {
 				stats.Scanned += i - lo

@@ -108,6 +108,7 @@ func (s *SS) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Resu
 // ctx is polled at RANGE-LOCAL indices (i−lo).
 func (s *SS) scanRange(ctx context.Context, hook *faults.Hook, qs *ssQuery, lo, hi int, c *topk.Collector, shared *search.SharedThreshold, stats *search.Stats) error {
 	done := ctx.Done()
+	//fex:hot
 	for i := lo; i < hi; i++ {
 		if hook != nil || (done != nil && (i-lo)&search.StrideMask == 0) {
 			if err := search.Poll(ctx, hook, i-lo); err != nil {

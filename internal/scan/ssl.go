@@ -185,6 +185,7 @@ func (s *SSL) scanRange(ctx context.Context, hook *faults.Hook, qs *sslQuery, lo
 		return nil
 	}
 	done := ctx.Done()
+	//fex:hot
 	for i := lo; i < hi; i++ {
 		if hook != nil || (done != nil && (i-lo)&search.StrideMask == 0) {
 			if err := search.Poll(ctx, hook, i-lo); err != nil {

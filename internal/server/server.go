@@ -76,6 +76,7 @@ type Config struct {
 	// Faults, when non-nil, is consulted per request for injected faults
 	// at the faults.SiteServerSearch / SiteServerMutate / SiteScan sites.
 	// Production servers leave it nil, which costs one nil check.
+	//lint:ignore apiparity test-only injection surface, deliberately unreachable from flags
 	Faults *faults.Registry
 
 	// Shards splits the dynamic index into that many independent catalog
@@ -416,6 +417,10 @@ func (s *Server) searchLocked(fn func() ([]topk.Result, error)) ([]topk.Result, 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.idx.SetFaultHook(s.cfg.Faults.Hook(faults.SiteScan))
+	// fn is always one index scan whose runtime is bounded by the
+	// request deadline: the context threaded into it fires ErrDeadline
+	// and the scan returns, so the hold time is capped by MaxTimeout.
+	//lint:ignore lockhold fn is a deadline-bounded index scan (DESIGN.md §10)
 	res, err := fn()
 	return res, s.idx.Stats(), err
 }

@@ -279,10 +279,21 @@ func NewMiniBatch(items *Matrix, batchSize, workers int) *MiniBatch {
 
 // TopKAll returns the top-k list for every query row.
 func (m *MiniBatch) TopKAll(queries *Matrix, k int) [][]Result {
-	raw := m.mb.TopKAll(queries.m, k)
+	out, _ := m.TopKAllContext(context.Background(), queries, k)
+	return out
+}
+
+// TopKAllContext behaves like TopKAll but honours ctx between query
+// batches: on cancellation it returns the batches completed so far
+// (unprocessed query rows stay nil) with an ErrDeadline-wrapping error.
+// Every filled slot holds the exact top-k for its query.
+func (m *MiniBatch) TopKAllContext(ctx context.Context, queries *Matrix, k int) ([][]Result, error) {
+	raw, err := m.mb.TopKAllContext(ctx, queries.m, k)
 	out := make([][]Result, len(raw))
 	for i, rs := range raw {
-		out[i] = convertResults(rs)
+		if rs != nil {
+			out[i] = convertResults(rs)
+		}
 	}
-	return out
+	return out, err
 }
