@@ -7,16 +7,18 @@ GO ?= go
 
 # Packages exercising concurrency-sensitive code under the race
 # detector: the server guard stack and e2e chaos test, the metrics
-# registry, the fault-injection hooks, and the cancellation paths of the
-# core retriever and the scan baselines. `make race` runs everything.
-# subset also covers the sharded execution engine and its kernels.
-RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/... ./internal/engine/...
+# registry (including span trees and sliding-window rotation), the
+# fault-injection hooks, the cancellation paths of the core retriever
+# and the scan baselines, the sharded execution engine and its kernels,
+# and the open-loop load generator's concurrent senders. `make race`
+# runs everything.
+RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/... ./internal/engine/... ./internal/load/...
 
 # Per-target budget for the fuzz smoke (`go test -fuzz` accepts exactly
 # one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: all verify build test check vet lint lint-race lint-fix-check fmt-check precommit race race-subset fuzz-smoke bench bench-shard
+.PHONY: all verify build test check vet lint lint-race lint-fix-check fmt-check precommit race race-subset fuzz-smoke bench bench-shard load-smoke
 
 all: check
 
@@ -92,6 +94,19 @@ fuzz-smoke:
 	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixBinary -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/data -run='^$$' -fuzz=FuzzReadMatrixCSV -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/engine -run='^$$' -fuzz=FuzzPartitionRoundTrip -fuzztime=$(FUZZTIME)
+
+## load-smoke: fexload in self-contained mode — it starts an in-process
+## fexserve over a synthetic catalog, offers a short open-loop workload
+## with interleaved mutations, and must produce a well-formed fexload/v1
+## -slojson report (fexload itself validates the report and exits
+## non-zero otherwise; the grep pins the schema tag on disk).
+load-smoke:
+	$(GO) run ./cmd/fexload -items 500 -dim 8 -rate 300 -duration 2s \
+		-mutate-every 10 -burst-every 1s -burst-dur 250ms -burst-factor 2 \
+		-slojson fexload-smoke.json
+	@grep -q '"schema": "fexload/v1"' fexload-smoke.json || \
+		{ echo "load-smoke: report missing fexload/v1 schema tag"; exit 1; }
+	@rm -f fexload-smoke.json
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

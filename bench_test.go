@@ -20,8 +20,10 @@ import (
 	"fexipro/internal/batch"
 	"fexipro/internal/core"
 	"fexipro/internal/data"
+	"fexipro/internal/engine"
 	"fexipro/internal/experiments"
 	"fexipro/internal/lemp"
+	"fexipro/internal/obs"
 	"fexipro/internal/pcatree"
 	"fexipro/internal/scan"
 	"fexipro/internal/svd"
@@ -396,6 +398,68 @@ func BenchmarkSearchContextOverhead(b *testing.B) {
 			if _, err := s.SearchContext(ctx, q, k); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkSpanOverhead measures per-query span tracing (DESIGN.md §13)
+// at the same adversarial point as BenchmarkSearchContextOverhead:
+// d = 1, n = 100k, where any per-query fixed cost is most visible
+// relative to the scan.
+//
+//	disabled — SearchContext with no span in ctx: the production
+//	           default. The only added work versus the cancellation
+//	           baseline is one ctx.Value lookup per query returning nil,
+//	           after which every span call is a nil-receiver no-op. The
+//	           acceptance bar is within 1% of the background variant of
+//	           BenchmarkSearchContextOverhead.
+//	enabled  — a root span in ctx, as fexserve -trace runs: Prepare and
+//	           the scan get timed children. The absolute cost is a few
+//	           span allocations per QUERY (never per item — enforced by
+//	           the hotalloc analyzer), invisible at realistic d.
+func BenchmarkSpanOverhead(b *testing.B) {
+	const n, d = 100_000, 1
+	rng := rand.New(rand.NewSource(99))
+	items := vec.NewMatrix(n, d)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	q := []float64{rng.NormFloat64()}
+	const k = 10
+
+	b.Run("disabled", func(b *testing.B) {
+		s := scan.NewNaive(items)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SearchContext(ctx, q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		s := scan.NewNaive(items)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := obs.NewRoot("search")
+			ctx := obs.ContextWithSpan(context.Background(), root)
+			if _, err := s.SearchContext(ctx, q, k); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	})
+	b.Run("enabled-sharded", func(b *testing.B) {
+		kern := scan.NewNaiveKernel(scan.NewNaive(items), 4)
+		eng := engine.New(kern, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := obs.NewRoot("search")
+			ctx := obs.ContextWithSpan(context.Background(), root)
+			if _, err := eng.SearchContext(ctx, q, k); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
 		}
 	})
 }

@@ -18,9 +18,22 @@
 //	GET    /readyz      readiness: 200 once the index is built, 503
 //	                    while draining for shutdown
 //	GET    /metrics     Prometheus text format (per-stage pruning
-//	                    counters, latency histograms, build/mutation
+//	                    counters, latency histograms, windowed latency
+//	                    quantiles, SLO burn counters, build/mutation
 //	                    and guard metrics)
+//	GET    /debug/queries  slow-query log: span trees of recent traced
+//	                    queries (only meaningful with -trace)
 //	GET    /debug/pprof/  (only with -pprof)
+//
+// Tracing: -trace attaches a span tree to every /v1/ request —
+// transform, per-shard scans (queue wait, steal provenance, stage
+// counters), merge, and any mutation-triggered shard rebuild — logged
+// as a per-stage summary and retained in a fixed-size ring served at
+// GET /debug/queries. -slow-query-ms keeps only queries at least that
+// slow; -trace-ring sizes the ring. -slo sets the latency objectives
+// whose violations fexserve_slo_violations_total counts, and the
+// fexipro_search_latency_window_seconds gauges expose p50/p95/p99/p999
+// over the trailing ~1 minute (DESIGN.md §13).
 //
 // Serving guards: -timeout sets the default per-request deadline
 // (clients override with the X-Timeout-Ms header, clamped to
@@ -53,6 +66,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,6 +97,11 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 64, "in-flight /v1/ request limit; excess is shed with 429 (0 disables)")
 		partial       = flag.Bool("partial", false, "answer deadline expiry with 200 + best-so-far results flagged exact:false instead of 504")
 		maxK          = flag.Int("max-k", 0, "cap on per-request k to bound response sizes (0 = server default, 1000)")
+
+		trace       = flag.Bool("trace", false, "collect a per-query span tree (transform, per-shard scans, merge, rebuilds) for every /v1/ request, served at GET /debug/queries (DESIGN.md §13)")
+		slowQueryMs = flag.Float64("slow-query-ms", 0, "with -trace, only queries at least this slow enter the /debug/queries ring (0 records every traced query)")
+		traceRing   = flag.Int("trace-ring", 0, "capacity of the /debug/queries slow-query ring (0 = server default, 128)")
+		sloSpec     = flag.String("slo", "", "comma-separated latency objectives burned into fexserve_slo_violations_total, e.g. 5ms,25ms,100ms (empty = server defaults 10ms,50ms,250ms)")
 	)
 	flag.Parse()
 
@@ -111,6 +130,11 @@ func main() {
 		fatal(logger, "variant", err)
 	}
 
+	slos, err := parseSLOs(*sloSpec)
+	if err != nil {
+		fatal(logger, "slo", err)
+	}
+
 	reg := obs.NewRegistry()
 	buildStart := time.Now()
 	srv, err := server.NewWithConfig(items, opts, server.Config{
@@ -124,6 +148,10 @@ func main() {
 		MaxK:              *maxK,
 		Shards:            *shards,
 		SearchWorkers:     *searchWorkers,
+		Trace:             *trace,
+		SlowQuery:         time.Duration(*slowQueryMs * float64(time.Millisecond)),
+		TraceRingSize:     *traceRing,
+		SLOs:              slos,
 	})
 	if err != nil {
 		fatal(logger, "index build", err)
@@ -141,7 +169,8 @@ func main() {
 		"shards", *shards, "searchWorkers", *searchWorkers,
 		"pprof", *enablePprof,
 		"timeout", timeout.String(), "maxTimeout", maxTimeout.String(),
-		"maxConcurrent", *maxConcurrent, "partialOnDeadline", *partial)
+		"maxConcurrent", *maxConcurrent, "partialOnDeadline", *partial,
+		"trace", *trace, "slowQueryMs", *slowQueryMs)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -171,6 +200,26 @@ func main() {
 	}
 	<-idle
 	logFinalSnapshot(logger, reg)
+}
+
+// parseSLOs parses a comma-separated list of Go durations into latency
+// objectives. Empty input returns nil (server defaults).
+func parseSLOs(spec string) ([]time.Duration, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(spec, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -slo entry %q: %w", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("bad -slo entry %q: objectives must be positive", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // newLogger builds the process logger in the requested format.

@@ -7,6 +7,7 @@ import (
 
 	"fexipro/internal/engine"
 	"fexipro/internal/faults"
+	"fexipro/internal/obs"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -100,7 +101,7 @@ func NewDynamicIndexSharded(initial *vec.Matrix, opts Options, rebuildFraction f
 	di.eng = engine.New(&dynKernel{di: di}, workers)
 	if initial.Rows > 0 {
 		for s := range di.shards {
-			if err := di.rebuildShard(s); err != nil {
+			if err := di.rebuildShard(context.Background(), s); err != nil {
 				return nil, err
 			}
 		}
@@ -133,6 +134,14 @@ func (di *DynamicIndex) shardOf(id int) *dynShard { return di.shards[id%len(di.s
 // Add inserts an item and returns its stable catalog ID. Only the
 // owning shard (id mod Shards) absorbs the update or rebuilds.
 func (di *DynamicIndex) Add(item []float64) (int, error) {
+	return di.AddContext(context.Background(), item)
+}
+
+// AddContext behaves like Add; when ctx carries an obs span the
+// mutation's hidden cost — the owning shard's rebuild, if this update
+// triggers one — is timed as a "rebuild" child span, so a slow-query
+// log can tell a 50µs delta append from a 50ms one-shard rebuild.
+func (di *DynamicIndex) AddContext(ctx context.Context, item []float64) (int, error) {
 	if len(item) != di.d {
 		return 0, fmt.Errorf("core: item dim %d != %d", len(item), di.d)
 	}
@@ -149,12 +158,17 @@ func (di *DynamicIndex) Add(item []float64) (int, error) {
 	sh := di.shardOf(id)
 	sh.delta = append(sh.delta, id)
 	sh.deltaItems = append(sh.deltaItems, vec.Clone(item))
-	return id, di.maybeRebuild(id % len(di.shards))
+	return id, di.maybeRebuild(ctx, id%len(di.shards))
 }
 
 // Delete retires an item by catalog ID. Deleting an unknown or already
 // deleted ID is an error. Only the owning shard can be rebuilt.
 func (di *DynamicIndex) Delete(id int) error {
+	return di.DeleteContext(context.Background(), id)
+}
+
+// DeleteContext behaves like Delete with AddContext's span semantics.
+func (di *DynamicIndex) DeleteContext(ctx context.Context, id int) error {
 	if id < 0 || id >= di.items.Rows {
 		return fmt.Errorf("core: delete of unknown item %d", id)
 	}
@@ -167,7 +181,7 @@ func (di *DynamicIndex) Delete(id int) error {
 	if sh.inMain(id) {
 		sh.deadInMain++
 	}
-	return di.maybeRebuild(id % len(di.shards))
+	return di.maybeRebuild(ctx, id%len(di.shards))
 }
 
 // inMain reports whether a catalog ID is covered by the shard's current
@@ -190,20 +204,29 @@ func (sh *dynShard) inMain(id int) bool {
 
 // maybeRebuild rebuilds shard s when its pending changes exceed the
 // rebuild fraction of its own indexed size.
-func (di *DynamicIndex) maybeRebuild(s int) error {
+func (di *DynamicIndex) maybeRebuild(ctx context.Context, s int) error {
 	sh := di.shards[s]
 	mainSize := len(sh.mainIDs)
 	pending := len(sh.delta) + sh.deadInMain
 	if mainSize == 0 || float64(pending) > di.rebuild*float64(mainSize) {
-		return di.rebuildShard(s)
+		return di.rebuildShard(ctx, s)
 	}
 	return nil
 }
 
 // rebuildShard folds shard s's delta and drops its tombstones into a
-// fresh preprocessed index over only that shard's live items.
-func (di *DynamicIndex) rebuildShard(s int) error {
+// fresh preprocessed index over only that shard's live items. A traced
+// mutation (span in ctx) gets a "rebuild" child annotated with the
+// shard, its live size, and the pending work that was folded in.
+func (di *DynamicIndex) rebuildShard(ctx context.Context, s int) error {
 	sh := di.shards[s]
+	_, rsp := obs.StartSpan(ctx, "rebuild")
+	if rsp != nil {
+		rsp.AttrInt("shard", int64(s))
+		rsp.AttrInt("deltaFolded", int64(len(sh.delta)))
+		rsp.AttrInt("tombstonesDropped", int64(sh.deadInMain))
+		defer rsp.End()
+	}
 	S := len(di.shards)
 	live := make([]int, 0, (di.items.Rows+S-1)/S)
 	for id := s; id < di.items.Rows; id += S {
@@ -211,6 +234,7 @@ func (di *DynamicIndex) rebuildShard(s int) error {
 			live = append(live, id)
 		}
 	}
+	rsp.AttrInt("items", int64(len(live)))
 	sh.delta = nil
 	sh.deltaItems = nil
 	sh.deadInMain = 0

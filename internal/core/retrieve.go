@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"fexipro/internal/faults"
+	"fexipro/internal/obs"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
@@ -96,6 +97,13 @@ func (r *Retriever) Search(q []float64, k int) []topk.Result {
 // SearchContext implements search.ContextSearcher: the scan polls ctx
 // every search.CheckStride items and returns the best-so-far partial
 // top-k with an ErrDeadline-wrapping error on cancellation.
+//
+// When ctx carries an obs span, the two lifecycle stages of the
+// single-scan path — the per-query transform (Algorithm 4 lines 5–9)
+// and the pruning scan — are timed as "transform" and "scan" children,
+// matching the names the sharded engine uses so stage-timing consumers
+// need no per-topology cases. With no span in ctx every call is a nil
+// no-op; nothing span-related happens per item.
 func (r *Retriever) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	idx := r.idx
 	if len(q) != idx.d {
@@ -105,9 +113,20 @@ func (r *Retriever) SearchContext(ctx context.Context, q []float64, k int) ([]to
 	if k <= 0 {
 		return nil, nil
 	}
+	sp := obs.SpanFrom(ctx)
 	c := topk.New(k)
+	tsp := sp.StartChild("transform")
 	idx.prepareQuery(q, r.qs)
-	if err := idx.scanRange(ctx, r.hook, r.qs, 0, idx.n, c, nil, &r.stats); err != nil {
+	tsp.End()
+	ssp := sp.StartChild("scan")
+	err := idx.scanRange(ctx, r.hook, r.qs, 0, idx.n, c, nil, &r.stats)
+	if ssp != nil {
+		ssp.AttrInt("scanned", int64(r.stats.Scanned))
+		ssp.AttrInt("pruned", int64(r.stats.TotalPruned()))
+		ssp.AttrInt("fullProducts", int64(r.stats.FullProducts))
+		ssp.End()
+	}
+	if err != nil {
 		return c.Results(), err
 	}
 	return c.Results(), nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fexipro/internal/faults"
+	"fexipro/internal/obs"
 	"fexipro/internal/search"
 	"fexipro/internal/topk"
 )
@@ -117,13 +118,29 @@ type shardOut struct {
 // the canonical best-so-far partial top-k alongside an
 // ErrDeadline-wrapping error; all returned scores remain true inner
 // products because each kernel maintains that invariant per shard.
+//
+// When ctx carries an obs span (tracing enabled for this query), the
+// engine attaches the query-lifecycle tree under it: one "transform"
+// child around Prepare, one "scan" child whose own children are the
+// per-shard scans (annotated with shard, worker, queue wait, steal
+// provenance, and stage counters), and one "merge" child around the
+// canonical merge. With no span in ctx every call below is a nil no-op
+// (DESIGN.md §13), so the untraced path costs one context lookup.
 func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.Result, error) {
 	e.stats = search.Stats{}
+	sp := obs.SpanFrom(ctx)
+	tsp := sp.StartChild("transform")
 	pq := e.kern.Prepare(q)
+	tsp.End()
 	shards := e.kern.Shards()
 	outs := make([]shardOut, shards)
 	shared := &search.SharedThreshold{}
 
+	scanSp := sp.StartChild("scan")
+	if scanSp != nil {
+		scanSp.AttrInt("shards", int64(shards))
+		scanSp.AttrInt("workers", int64(e.workers))
+	}
 	if e.workers <= 1 || shards == 1 {
 		// Sequential path: no goroutines, no atomic traffic beyond the
 		// shared-threshold loads the kernels do anyway. With one shard
@@ -132,36 +149,40 @@ func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.
 		// promptly via their entry Poll, each recording a deterministic
 		// (possibly empty) partial, so the loop never breaks early.
 		for s := 0; s < shards; s++ {
-			e.runShard(ctx, pq, s, k, shared, &outs[s])
+			e.runShard(ctx, pq, s, k, shared, &outs[s], scanSp, 0)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(e.workers)
 		for w := 0; w < e.workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					s := int(next.Add(1)) - 1
 					if s >= shards {
 						return
 					}
-					e.runShard(ctx, pq, s, k, shared, &outs[s])
+					e.runShard(ctx, pq, s, k, shared, &outs[s], scanSp, w)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
+	scanSp.End()
 
 	// Merge: push every shard's retained results into one canonical
 	// collector. The collector's total order (score desc, ID asc) makes
 	// the merged set independent of push order, so no cross-shard
 	// ordering discipline is needed here.
+	msp := sp.StartChild("merge")
 	merged := topk.New(k)
 	var firstErr error
+	candidates := 0
 	for s := 0; s < shards; s++ {
 		o := &outs[s]
 		e.stats.Add(o.st)
+		candidates += len(o.res)
 		// This push loop is bounded by O(shards·k) retained results, not
 		// the catalog size — cancellation already happened inside the
 		// shard scans, so a poll here would only delay the merge.
@@ -173,6 +194,10 @@ func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.
 			firstErr = o.err // lowest shard's error, deterministic
 		}
 	}
+	if msp != nil {
+		msp.AttrInt("candidates", int64(candidates))
+		msp.End()
+	}
 	if firstErr != nil {
 		return merged.Results(), search.Canceled(firstErr)
 	}
@@ -180,12 +205,38 @@ func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.
 }
 
 // runShard executes one shard scan and records its output, stats,
-// error, and wall time into out.
-func (e *Engine) runShard(ctx context.Context, pq any, s, k int, shared *search.SharedThreshold, out *shardOut) {
+// error, and wall time into out. When the query is traced (scanSp is
+// non-nil) it opens one child span per shard under the scan span: the
+// queueWaitMicros attribute is how long the shard sat in the pool's
+// queue before a worker picked it up (time since the scan span
+// started), and stolen marks shards taken beyond the pool's initial
+// distribution (shard index ≥ worker count) — together the "where did
+// the microseconds go" signal for partition skew and pool sizing.
+func (e *Engine) runShard(ctx context.Context, pq any, s, k int, shared *search.SharedThreshold, out *shardOut, scanSp *obs.Span, worker int) {
+	var ssp *obs.Span
+	if scanSp != nil {
+		wait := time.Since(scanSp.Start())
+		ssp = scanSp.StartChild("shard")
+		ssp.AttrInt("shard", int64(s))
+		ssp.AttrInt("worker", int64(worker))
+		ssp.AttrInt("queueWaitMicros", wait.Microseconds())
+		if s >= e.workers {
+			ssp.AttrInt("stolen", 1)
+		}
+	}
 	c := topk.New(k)
 	start := time.Now()
 	st, err := e.kern.Scan(ctx, pq, s, c, shared, e.hook)
 	secs := time.Since(start).Seconds()
+	if ssp != nil {
+		ssp.AttrInt("scanned", int64(st.Scanned))
+		ssp.AttrInt("pruned", int64(st.TotalPruned()))
+		ssp.AttrInt("fullProducts", int64(st.FullProducts))
+		if err != nil {
+			ssp.AttrStr("error", err.Error())
+		}
+		ssp.End()
+	}
 	out.res = c.Results()
 	out.st = st
 	out.err = err

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"fexipro/internal/data"
 	"fexipro/internal/engine"
 	"fexipro/internal/lemp"
+	"fexipro/internal/obs"
 	"fexipro/internal/scan"
 	"fexipro/internal/search"
 	"fexipro/internal/vec"
@@ -159,9 +161,23 @@ type RunResult struct {
 	Stats        search.Stats
 	PerQuery     []QueryCost
 	QueriesCount int
+
+	// StagesTimed is true when the method answered traced queries, so
+	// the per-stage wall times below are populated: the cumulative span
+	// durations of the query transform, the (per-shard) scan, and — for
+	// sharded methods — the canonical merge (DESIGN.md §13). Retrieve
+	// remains the outer end-to-end time; the stages nest inside it.
+	StagesTimed bool
+	Transform   time.Duration
+	Scan        time.Duration
+	Merge       time.Duration
 }
 
 // Run executes every query of the dataset at k against a built method.
+// Methods that implement search.ContextSearcher run each query under a
+// span, so the result also carries per-stage (transform/scan/merge)
+// wall times; the span attach is a few hundred nanoseconds per query,
+// invisible next to a catalog scan.
 func Run(b Built, ds *data.Dataset, k int, collectPerQuery bool) RunResult {
 	r := RunResult{
 		Method:       b.Name,
@@ -173,11 +189,22 @@ func Run(b Built, ds *data.Dataset, k int, collectPerQuery bool) RunResult {
 	if collectPerQuery {
 		r.PerQuery = make([]QueryCost, 0, ds.Queries.Rows)
 	}
+	cs, traced := b.Searcher.(search.ContextSearcher)
+	r.StagesTimed = traced
 	var totalFull int
 	start := time.Now()
 	for i := 0; i < ds.Queries.Rows; i++ {
 		qStart := time.Now()
-		b.Searcher.Search(ds.Queries.Row(i), k)
+		if traced {
+			root := obs.NewRoot("search")
+			_, _ = cs.SearchContext(obs.ContextWithSpan(context.Background(), root), ds.Queries.Row(i), k)
+			root.End()
+			r.Transform += root.ChildDuration("transform")
+			r.Scan += root.ChildDuration("scan")
+			r.Merge += root.ChildDuration("merge")
+		} else {
+			b.Searcher.Search(ds.Queries.Row(i), k)
+		}
 		st := b.Searcher.Stats()
 		totalFull += st.FullProducts
 		r.Stats.Add(st)

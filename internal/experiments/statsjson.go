@@ -25,6 +25,17 @@ type StatsReport struct {
 	RetrieveMs      float64           `json:"retrieveMs"`
 	AvgFullProducts float64           `json:"avgFullProducts"`
 	Stages          obs.StageCounters `json:"stages"`
+
+	// Per-stage wall times fed by the query span tree (DESIGN.md §13),
+	// present for methods that answer traced queries. TransformMs is
+	// the cumulative query transform (SVD projection, integer floors),
+	// ScanMs the (per-shard) candidate scan, and MergeMs the canonical
+	// cross-shard merge (0 for single-scan methods). They nest inside
+	// RetrieveMs rather than partitioning it exactly: the gap is
+	// harness bookkeeping.
+	TransformMs float64 `json:"transformMs,omitempty"`
+	ScanMs      float64 `json:"scanMs,omitempty"`
+	MergeMs     float64 `json:"mergeMs,omitempty"`
 }
 
 // CollectStats runs each named method over each configured profile at k
@@ -48,7 +59,7 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 			if shards <= 1 {
 				shards, workers = 0, 0 // omitted: sequential scan
 			}
-			out = append(out, StatsReport{
+			rep := StatsReport{
 				Dataset:         r.Dataset,
 				Method:          r.Method,
 				K:               r.K,
@@ -61,7 +72,13 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 				RetrieveMs:      float64(r.Retrieve.Microseconds()) / 1e3,
 				AvgFullProducts: r.AvgFullIP,
 				Stages:          obs.StageCountersFrom(r.Stats),
-			})
+			}
+			if r.StagesTimed {
+				rep.TransformMs = float64(r.Transform.Microseconds()) / 1e3
+				rep.ScanMs = float64(r.Scan.Microseconds()) / 1e3
+				rep.MergeMs = float64(r.Merge.Microseconds()) / 1e3
+			}
+			out = append(out, rep)
 		}
 	}
 	return out, nil

@@ -22,7 +22,11 @@ import (
 //     forced to the heap),
 //   - interface boxing: passing a concrete non-pointer value to an
 //     interface-typed parameter (fmt-style variadics included) boxes an
-//     allocation per call.
+//     allocation per call,
+//   - span starts (obs.NewRoot / StartSpan / StartChild): a span is
+//     per-QUERY instrumentation — starting one per scanned item
+//     allocates and locks on the hottest path; attach spans around the
+//     loop, never inside it (DESIGN.md §13).
 //
 // The directive goes on the line immediately above the for/range (or at
 // the end of the same line). Nested function literals are flagged as a
@@ -93,7 +97,33 @@ func checkHotBody(pass *Pass, body *ast.BlockStmt) {
 	})
 }
 
+// spanStartFuncs are the span-creating entry points of internal/obs;
+// calling any of them per scanned item turns tracing's per-query cost
+// into a per-item one.
+var spanStartFuncs = map[string]bool{
+	"NewRoot": true, "StartSpan": true, "StartChild": true,
+}
+
+// isObsSpanStart reports whether the call creates an obs span: either
+// a package-level obs.NewRoot/obs.StartSpan or the StartChild method
+// on *obs.Span.
+func isObsSpanStart(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !spanStartFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
 func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	if name, ok := isObsSpanStart(pass, call); ok {
+		pass.Reportf(call.Pos(), "obs.%s inside a //fex:hot loop starts a span per scanned item; spans are per-query — attach them around the loop (DESIGN.md §13)", name)
+		return
+	}
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		switch id.Name {
 		case "append":

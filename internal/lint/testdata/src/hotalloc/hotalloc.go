@@ -1,7 +1,13 @@
 // Package hotalloc is a fexlint golden fixture for //fex:hot loops: no
-// allocations, interface boxing, closures, or per-iteration defers
-// inside a marked loop. Unmarked loops are unconstrained.
+// allocations, interface boxing, closures, per-iteration defers, or
+// span starts inside a marked loop. Unmarked loops are unconstrained.
 package hotalloc
+
+import (
+	"context"
+
+	"fexipro/internal/obs"
+)
 
 type pair struct{ a, b float64 }
 
@@ -58,4 +64,24 @@ func forward(vals []any) {
 		sink(v)
 		sink(nil)
 	}
+}
+
+// Spans are per-query instrumentation: starting one per scanned item
+// is flagged, in all three spellings. Attribute/End calls on an
+// already-open span are allowed (nil no-ops on the untraced path).
+func spans(ctx context.Context, items []float64) {
+	parent := obs.SpanFrom(ctx)
+	//fex:hot
+	for range items {
+		s := obs.NewRoot("scan") // want `obs.NewRoot inside a //fex:hot loop starts a span per scanned item`
+		_ = s
+		_, c := obs.StartSpan(ctx, "item") // want `obs.StartSpan inside a //fex:hot loop starts a span per scanned item`
+		_ = c
+		g := parent.StartChild("item") // want `obs.StartChild inside a //fex:hot loop starts a span per scanned item`
+		_ = g
+		parent.AttrInt("scanned", 1) // fine: no span starts here
+	}
+	// Outside the loop: spans at query granularity are the point.
+	sp := parent.StartChild("post")
+	sp.End()
 }

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// MetricBuildInfo is the constant-1 build identity gauge, labeled
+// go_version and version (the module's VCS revision when the binary
+// was built from a repository, else the module version). Joining any
+// other series against it attributes a regression to a build.
+const MetricBuildInfo = "fexipro_build_info"
+
+// RegisterBuildInfo registers fexipro_build_info{go_version,version} 1
+// in reg. Safe to call more than once (the registry dedupes series).
+func RegisterBuildInfo(reg *Registry) {
+	reg.Gauge(MetricBuildInfo,
+		"Build identity: constant 1, labeled by Go toolchain and build version.",
+		L("go_version", runtime.Version()),
+		L("version", buildVersion()),
+	).Set(1)
+}
+
+// buildVersion extracts the most specific version identity the binary
+// carries: the vcs.revision setting when built from a checkout,
+// otherwise the main module version, otherwise "unknown".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev
+		}
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Metric names for the windowed SLO instrumentation (DESIGN.md §13).
+const (
+	// MetricSearchLatencyWindow is the sliding-window search latency
+	// quantile gauge, labeled quantile ∈ {0.5, 0.95, 0.99, 0.999}.
+	// Unlike the cumulative fexipro_search_latency_seconds histogram it
+	// forgets old traffic, so it answers "how slow are we NOW", not
+	// "how slow have we ever been".
+	MetricSearchLatencyWindow = "fexipro_search_latency_window_seconds"
+	// MetricSLOViolations counts searches that finished above a latency
+	// objective, labeled objective (e.g. "25ms"). The rate of this
+	// counter is the SLO burn rate.
+	MetricSLOViolations = "fexserve_slo_violations_total"
+)
+
+// WindowQuantiles are the quantile label values exported for every
+// sliding-window latency gauge.
+var WindowQuantiles = []float64{0.5, 0.95, 0.99, 0.999}
+
+// Window is a sliding-window histogram: N rotating slots, each a
+// fixed-bucket histogram covering slotDur of wall time. Observations
+// land in the current slot; slots older than N·slotDur are zeroed as
+// the window advances, so a Snapshot covers at most the trailing
+// N·slotDur and at least (N−1)·slotDur of traffic.
+//
+// All methods are safe for concurrent use. An Observe takes one short
+// mutex hold and never allocates; rotation is amortized into whichever
+// Observe or Snapshot first lands in a new slot.
+type Window struct {
+	bounds  []float64 // upper bounds, strictly increasing
+	slotDur time.Duration
+	now     func() time.Time // injectable for tests
+
+	mu        sync.Mutex
+	slots     [][]uint64 // per slot: len(bounds)+1 counts (+Inf last)
+	sums      []float64  // per slot: sum of observed values
+	cur       int
+	slotStart time.Time
+}
+
+// NewWindow returns a window of `slots` rotating slots of slotDur each
+// over the given bucket bounds (nil selects DefLatencyBuckets).
+// slots < 2 is clamped to 2 — a single slot would empty the whole
+// window at every rotation.
+func NewWindow(slots int, slotDur time.Duration, bounds []float64) *Window {
+	if slots < 2 {
+		slots = 2
+	}
+	if slotDur <= 0 {
+		slotDur = 10 * time.Second
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	w := &Window{
+		bounds:  bounds,
+		slotDur: slotDur,
+		now:     time.Now,
+		slots:   make([][]uint64, slots),
+		sums:    make([]float64, slots),
+	}
+	for i := range w.slots {
+		w.slots[i] = make([]uint64, len(bounds)+1)
+	}
+	w.slotStart = w.now()
+	return w
+}
+
+// SetClock replaces the wall-clock source (tests only; not safe to
+// call concurrently with Observe/Snapshot).
+func (w *Window) SetClock(now func() time.Time) { w.now = now }
+
+// rotate advances the current slot pointer to cover `now`, zeroing
+// every slot it skips over. Called under w.mu.
+func (w *Window) rotate(now time.Time) {
+	elapsed := now.Sub(w.slotStart)
+	if elapsed < w.slotDur {
+		return
+	}
+	steps := int(elapsed / w.slotDur)
+	if steps > len(w.slots) {
+		steps = len(w.slots) // everything expires; no need to loop further
+	}
+	for i := 0; i < steps; i++ {
+		w.cur = (w.cur + 1) % len(w.slots)
+		for j := range w.slots[w.cur] {
+			w.slots[w.cur][j] = 0
+		}
+		w.sums[w.cur] = 0
+	}
+	// Advance slotStart by whole slot widths so slot boundaries stay
+	// aligned to the window's own grid rather than drifting with
+	// observation timing.
+	w.slotStart = w.slotStart.Add(now.Sub(w.slotStart) / w.slotDur * w.slotDur)
+}
+
+// Observe records one value into the current slot.
+func (w *Window) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	w.mu.Lock()
+	w.rotate(w.now())
+	slot := w.slots[w.cur]
+	idx := len(w.bounds)
+	for i, ub := range w.bounds {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	slot[idx]++
+	w.sums[w.cur] += v
+	w.mu.Unlock()
+}
+
+// Snapshot merges every live slot into one immutable histogram view of
+// the trailing window.
+func (w *Window) Snapshot() WindowSnapshot {
+	w.mu.Lock()
+	w.rotate(w.now())
+	s := WindowSnapshot{
+		Bounds: w.bounds,
+		Counts: make([]uint64, len(w.bounds)+1),
+	}
+	for i := range w.slots {
+		for j, c := range w.slots[i] {
+			s.Counts[j] += c
+			s.Count += c
+		}
+		s.Sum += w.sums[i]
+	}
+	w.mu.Unlock()
+	return s
+}
+
+// WindowSnapshot is a merged, point-in-time view of a Window: one
+// count per bucket (the +Inf bucket last), the total count, and the
+// sum. Snapshots from windows with identical bounds are mergeable —
+// e.g. per-replica windows folded into a fleet view.
+type WindowSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is +Inf
+	Count  uint64
+	Sum    float64
+}
+
+// Merge folds another snapshot with identical bounds into a new
+// snapshot (it panics on a bound mismatch — merging histograms with
+// different buckets is meaningless).
+func (s WindowSnapshot) Merge(o WindowSnapshot) WindowSnapshot {
+	if len(s.Bounds) != len(o.Bounds) {
+		panic("obs: merging window snapshots with different bucket bounds")
+	}
+	for i := range s.Bounds {
+		// Bucket bounds are configuration constants copied verbatim, so
+		// bitwise identity — not epsilon closeness — is the right test.
+		//lint:ignore floatcmp bounds must be bit-identical for counts to be mergeable
+		if s.Bounds[i] != o.Bounds[i] {
+			panic("obs: merging window snapshots with different bucket bounds")
+		}
+	}
+	out := WindowSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear
+// interpolation within the owning bucket, Prometheus
+// histogram_quantile style. An empty snapshot returns 0; observations
+// in the +Inf bucket resolve to the highest finite bound (a floor, as
+// with histogram_quantile).
+func (s WindowSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // +Inf bucket: report the last finite bound
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

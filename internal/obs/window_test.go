@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for deterministic rotation tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestWindow(slots int, slotDur time.Duration, bounds []float64) (*Window, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	w := NewWindow(slots, slotDur, bounds)
+	w.SetClock(clk.now)
+	w.slotStart = clk.now()
+	return w, clk
+}
+
+func TestWindowQuantileInterpolation(t *testing.T) {
+	w, _ := newTestWindow(4, time.Second, []float64{0.1, 0.2, 0.4})
+	// 10 observations uniformly in (0, 0.1]: all in the first bucket.
+	for i := 1; i <= 10; i++ {
+		w.Observe(0.01 * float64(i))
+	}
+	s := w.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("count = %d, want 10", s.Count)
+	}
+	// Interpolated median of a full first bucket [0, 0.1] is 0.05.
+	if got := s.Quantile(0.5); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("p50 = %v, want 0.05", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("p100 = %v, want 0.1", got)
+	}
+	// An observation beyond every bound lands in +Inf and quantiles
+	// floor at the last finite bound.
+	w.Observe(9.9)
+	if got := w.Snapshot().Quantile(0.999); got != 0.4 {
+		t.Fatalf("p999 with +Inf mass = %v, want 0.4", got)
+	}
+}
+
+func TestWindowEmptyQuantile(t *testing.T) {
+	w, _ := newTestWindow(4, time.Second, nil)
+	if got := w.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty window quantile = %v, want 0", got)
+	}
+}
+
+func TestWindowRotationExpiresOldTraffic(t *testing.T) {
+	w, clk := newTestWindow(3, time.Second, []float64{1, 2})
+	w.Observe(0.5)
+	w.Observe(0.5)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+
+	// One slot forward: old observations still inside the window.
+	clk.advance(time.Second)
+	w.Observe(1.5)
+	if got := w.Snapshot().Count; got != 3 {
+		t.Fatalf("after 1 slot: count = %d, want 3", got)
+	}
+
+	// Advance past the full window: everything expires.
+	clk.advance(5 * time.Second)
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("after full window: count = %d, want 0", got)
+	}
+
+	// The window keeps working after a full expiry.
+	w.Observe(0.25)
+	s := w.Snapshot()
+	if s.Count != 1 || s.Sum != 0.25 {
+		t.Fatalf("post-expiry snapshot = %+v", s)
+	}
+}
+
+func TestWindowRotationIsGradual(t *testing.T) {
+	w, clk := newTestWindow(4, time.Second, []float64{1})
+	// One observation per slot for 4 slots.
+	for i := 0; i < 4; i++ {
+		w.Observe(0.5)
+		clk.advance(time.Second)
+	}
+	// The 4th advance rotated into the slot holding the 1st observation.
+	if got := w.Snapshot().Count; got != 3 {
+		t.Fatalf("count = %d, want 3 (oldest slot expired)", got)
+	}
+	clk.advance(time.Second)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestWindowSnapshotMerge(t *testing.T) {
+	bounds := []float64{1, 2}
+	a, _ := newTestWindow(2, time.Second, bounds)
+	b, _ := newTestWindow(2, time.Second, bounds)
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(0.5)
+	b.Observe(5)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", m.Count)
+	}
+	want := []uint64{2, 1, 1}
+	for i, c := range m.Counts {
+		if c != want[i] {
+			t.Fatalf("merged counts = %v, want %v", m.Counts, want)
+		}
+	}
+	if math.Abs(m.Sum-7.5) > 1e-12 {
+		t.Fatalf("merged sum = %v, want 7.5", m.Sum)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bounds must panic")
+		}
+	}()
+	c, _ := newTestWindow(2, time.Second, []float64{9})
+	_ = m.Merge(c.Snapshot())
+}
+
+// TestWindowConcurrentRotation exercises Observe/Snapshot from many
+// goroutines with a real clock and a slot duration small enough that
+// rotation happens mid-test; run under -race this pins the locking of
+// the rotation path.
+func TestWindowConcurrentRotation(t *testing.T) {
+	w := NewWindow(4, time.Millisecond, []float64{0.001, 0.01, 0.1})
+	var wg sync.WaitGroup
+	stop := time.Now().Add(50 * time.Millisecond)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				if g%2 == 0 {
+					w.Observe(float64(i%100) / 1000)
+				} else {
+					s := w.Snapshot()
+					var sum uint64
+					for _, c := range s.Counts {
+						sum += c
+					}
+					if sum != s.Count {
+						t.Errorf("snapshot counts %d != total %d", sum, s.Count)
+						return
+					}
+					_ = s.Quantile(0.99)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg)
+	RegisterBuildInfo(reg) // idempotent
+	snap := reg.Snapshot()
+	found := false
+	for k, v := range snap {
+		if len(k) >= len(MetricBuildInfo) && k[:len(MetricBuildInfo)] == MetricBuildInfo {
+			found = true
+			if v != 1 {
+				t.Fatalf("%s = %v, want 1", k, v)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s series in %v", MetricBuildInfo, snap)
+	}
+}

@@ -88,7 +88,39 @@ type Config struct {
 	// SearchWorkers bounds the per-query goroutine pool when Shards > 1
 	// (≤ 0 means GOMAXPROCS, clamped to Shards). Ignored for Shards ≤ 1.
 	SearchWorkers int
+
+	// Trace enables per-query span collection (DESIGN.md §13): every
+	// /v1/ search and mutation gets a span tree — transform, per-shard
+	// scans (with queue-wait and steal provenance), merge, rebuilds —
+	// recorded into the slow-query ring served at GET /debug/queries
+	// and summarized on the request log line. Off, queries pay only a
+	// nil context lookup.
+	Trace bool
+	// SlowQuery is the minimum duration a traced query must take to
+	// enter the /debug/queries ring; 0 records every traced query.
+	SlowQuery time.Duration
+	// TraceRingSize caps how many completed span trees /debug/queries
+	// retains (default 128).
+	TraceRingSize int
+	// SLOs are the latency objectives whose violations are counted by
+	// fexserve_slo_violations_total{objective}; a search or above-t
+	// request finishing later than an objective burns it. Nil selects
+	// DefaultSLOs.
+	SLOs []time.Duration
 }
+
+// DefaultSLOs are the latency objectives used when Config.SLOs is nil,
+// spanning the envelope of Figure 9's per-query latencies: an
+// interactive bar, a comfortable bar, and a "something is wrong" bar.
+var DefaultSLOs = []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 250 * time.Millisecond}
+
+// Sliding-window shape for the fexipro_search_latency_window_seconds
+// quantile gauges: 6 slots of 10s — /metrics answers "how slow are
+// searches NOW" over the trailing ~1 minute.
+const (
+	windowSlots   = 6
+	windowSlotDur = 10 * time.Second
+)
 
 // Server is the HTTP handler set over one dynamic index.
 type Server struct {
@@ -107,6 +139,15 @@ type Server struct {
 	adds     *obs.Counter
 	deletes  *obs.Counter
 	items    *obs.Gauge
+
+	// Tracing + SLO state (DESIGN.md §13).
+	start       time.Time
+	ring        *obs.TraceRing
+	window      *obs.Window
+	sloObjs     []time.Duration
+	sloCounters []*obs.Counter
+	uptime      *obs.Gauge
+	quantiles   []*obs.Gauge // one per obs.WindowQuantiles entry
 
 	// Guard stack (see guard.go).
 	sem           chan struct{} // nil when MaxConcurrent == 0
@@ -171,6 +212,32 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 			"End-to-end HTTP request latency in seconds.", nil, obs.L("route", route))
 	}
 	s.items.Set(float64(idx.Len()))
+
+	// Tracing, windowed quantiles, and SLO burn counters (§13).
+	s.start = time.Now()
+	obs.RegisterBuildInfo(reg)
+	s.uptime = reg.Gauge("fexserve_uptime_seconds",
+		"Seconds since the server finished its initial index build (refreshed at scrape).")
+	ringSize := cfg.TraceRingSize
+	if ringSize <= 0 {
+		ringSize = 128
+	}
+	s.ring = obs.NewTraceRing(ringSize)
+	s.window = obs.NewWindow(windowSlots, windowSlotDur, nil)
+	for _, q := range obs.WindowQuantiles {
+		s.quantiles = append(s.quantiles, reg.Gauge(obs.MetricSearchLatencyWindow,
+			"Search latency quantiles over the trailing sliding window (seconds), refreshed at scrape.",
+			obs.L("quantile", strconv.FormatFloat(q, 'g', -1, 64))))
+	}
+	s.sloObjs = cfg.SLOs
+	if s.sloObjs == nil {
+		s.sloObjs = DefaultSLOs
+	}
+	for _, obj := range s.sloObjs {
+		s.sloCounters = append(s.sloCounters, reg.Counter(obs.MetricSLOViolations,
+			"Search requests finishing above a latency objective (SLO burn).",
+			obs.L("objective", obj.String())))
+	}
 	if shards > 1 {
 		// Per-shard scan wall time (fexipro_shard_scan_seconds), labeled
 		// by shard index; the per-shard stage counters already flow into
@@ -213,7 +280,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	mux.Handle("GET /metrics", s.metricsHandler())
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -231,12 +299,19 @@ func (s *Server) Handler() http.Handler {
 }
 
 // reqInfo is filled in by handlers so the middleware can log
-// search-specific fields (k, per-stage counters) without re-plumbing
-// every handler's return path.
+// search-specific fields (k, per-stage counters, span-stage timings)
+// without re-plumbing every handler's return path.
 type reqInfo struct {
 	k        int
 	stats    obs.StageCounters
 	hasStats bool
+
+	// Span-stage summary (tracing enabled only).
+	hasSpans  bool
+	transform time.Duration
+	scan      time.Duration
+	merge     time.Duration
+	rebuild   time.Duration
 }
 
 type reqInfoKey struct{}
@@ -309,6 +384,14 @@ func (s *Server) observe(next http.Handler) http.Handler {
 				),
 			)
 		}
+		if info.hasSpans {
+			attrs = append(attrs, slog.Group("spans",
+				slog.Int64("transformMicros", info.transform.Microseconds()),
+				slog.Int64("scanMicros", info.scan.Microseconds()),
+				slog.Int64("mergeMicros", info.merge.Microseconds()),
+				slog.Int64("rebuildMicros", info.rebuild.Microseconds()),
+			))
+		}
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
 }
@@ -334,6 +417,8 @@ func routeLabel(r *http.Request) string {
 		return "/readyz"
 	case p == "/metrics":
 		return "/metrics"
+	case p == "/debug/queries":
+		return "/debug/queries"
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
 	}
@@ -395,11 +480,18 @@ func (s *Server) decodeVector(w http.ResponseWriter, r *http.Request, req *searc
 	return true
 }
 
-// noteSearch records a completed search into the cumulative metrics and
-// exposes its counters to the logging middleware.
+// noteSearch records a completed search into the cumulative metrics,
+// the sliding latency window, and the SLO burn counters, and exposes
+// its counters to the logging middleware.
 func (s *Server) noteSearch(r *http.Request, k int, st search.Stats, took time.Duration) obs.StageCounters {
 	sc := obs.StageCountersFrom(st)
 	s.rec.RecordSearch(st, took.Seconds())
+	s.window.Observe(took.Seconds())
+	for i, obj := range s.sloObjs {
+		if took > obj {
+			s.sloCounters[i].Inc()
+		}
+	}
 	if info, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
 		info.k = k
 		info.stats = sc
@@ -441,12 +533,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k %d exceeds maximum %d", req.K, s.MaxK)
 		return
 	}
+	r, root := s.traceStart(r, "search")
 	start := time.Now()
 	results, st, err := s.searchLocked(func() ([]topk.Result, error) {
 		return s.idx.SearchContext(r.Context(), req.Vector, req.K)
 	})
 	took := time.Since(start)
 	sc := s.noteSearch(r, req.K, st, took)
+	s.traceFinish(r, root, "search", req.K, took, err == nil, &sc)
 	if !s.deadlineOK(w, r, err) {
 		return
 	}
@@ -471,12 +565,14 @@ func (s *Server) handleAbove(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "a finite threshold is required")
 		return
 	}
+	r, root := s.traceStart(r, "above")
 	start := time.Now()
 	results, st, err := s.searchLocked(func() ([]topk.Result, error) {
 		return s.idx.SearchAboveContext(r.Context(), req.Vector, *req.Threshold)
 	})
 	took := time.Since(start)
 	sc := s.noteSearch(r, 0, st, took)
+	s.traceFinish(r, root, "above", 0, took, err == nil, &sc)
 	if !s.deadlineOK(w, r, err) {
 		return
 	}
@@ -516,10 +612,13 @@ func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	r, root := s.traceStart(r, "add")
+	start := time.Now()
 	s.mu.Lock()
-	id, err := s.idx.Add(req.Vector)
+	id, err := s.idx.AddContext(r.Context(), req.Vector)
 	n := s.idx.Len()
 	s.mu.Unlock()
+	s.traceFinish(r, root, "add", 0, time.Since(start), err == nil, nil)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "add failed: %v", err)
 		return
@@ -540,10 +639,13 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad item id %q", idStr)
 		return
 	}
+	r, root := s.traceStart(r, "delete")
+	start := time.Now()
 	s.mu.Lock()
-	err = s.idx.Delete(id)
+	err = s.idx.DeleteContext(r.Context(), id)
 	n := s.idx.Len()
 	s.mu.Unlock()
+	s.traceFinish(r, root, "delete", 0, time.Since(start), err == nil, nil)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return

@@ -1,0 +1,330 @@
+package server_test
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"fexipro/internal/obs"
+	"fexipro/internal/server"
+)
+
+// debugQueries fetches and decodes GET /debug/queries.
+func debugQueries(t *testing.T, base string) (enabled bool, recorded uint64, entries []struct {
+	TraceID    string             `json:"traceId"`
+	Method     string             `json:"method"`
+	K          int                `json:"k"`
+	At         string             `json:"at"`
+	TookMicros int64              `json:"tookMicros"`
+	Exact      bool               `json:"exact"`
+	Stats      *obs.StageCounters `json:"stats"`
+	Span       obs.SpanJSON       `json:"span"`
+}) {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/queries status %d", resp.StatusCode)
+	}
+	var body struct {
+		Enabled  bool   `json:"enabled"`
+		Recorded uint64 `json:"recorded"`
+		Entries  []struct {
+			TraceID    string             `json:"traceId"`
+			Method     string             `json:"method"`
+			K          int                `json:"k"`
+			At         string             `json:"at"`
+			TookMicros int64              `json:"tookMicros"`
+			Exact      bool               `json:"exact"`
+			Stats      *obs.StageCounters `json:"stats"`
+			Span       obs.SpanJSON       `json:"span"`
+		} `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Enabled, body.Recorded, body.Entries
+}
+
+func childByName(sp obs.SpanJSON, name string) (obs.SpanJSON, bool) {
+	for _, c := range sp.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return obs.SpanJSON{}, false
+}
+
+// TestTraceSpanTree is the tentpole acceptance test: with tracing
+// enabled, /debug/queries returns complete span trees for sharded
+// searches whose per-shard scan spans nest within (and sum to no more
+// than) the scan span, and whose stage children account for the root.
+func TestTraceSpanTree(t *testing.T) {
+	ts := newObsServer(t, 600, 8, server.Config{Trace: true, Shards: 4, SearchWorkers: 2})
+	q := []float64{1, -0.5, 0.3, 0.7, -0.2, 0.1, 0.9, -1.1}
+
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
+	wantTrace := resp.Header.Get(obs.TraceHeader)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+
+	enabled, recorded, entries := debugQueries(t, ts.URL)
+	if !enabled {
+		t.Fatal("enabled = false with Config.Trace set")
+	}
+	if recorded != 1 || len(entries) != 1 {
+		t.Fatalf("recorded %d entries %d, want 1 and 1", recorded, len(entries))
+	}
+	e := entries[0]
+	if e.Method != "search" || e.K != 5 || !e.Exact {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.TraceID != wantTrace {
+		t.Fatalf("entry trace %q != request trace %q", e.TraceID, wantTrace)
+	}
+	if e.Stats == nil || e.Stats.Scanned == 0 {
+		t.Fatalf("entry stats missing: %+v", e.Stats)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e.At); err != nil {
+		t.Fatalf("entry at %q: %v", e.At, err)
+	}
+
+	root := e.Span
+	if root.Name != "search" {
+		t.Fatalf("root span %q, want search", root.Name)
+	}
+	var stageSum int64
+	for _, name := range []string{"transform", "scan", "merge"} {
+		c, ok := childByName(root, name)
+		if !ok {
+			t.Fatalf("root missing %q child: %+v", name, root)
+		}
+		stageSum += c.DurationMicros
+	}
+	// Stage children are disjoint nested intervals of the root, so their
+	// rounded-micros sum may exceed the root by at most one microsecond
+	// per child.
+	if stageSum > root.DurationMicros+3 {
+		t.Fatalf("stage sum %dµs exceeds root %dµs", stageSum, root.DurationMicros)
+	}
+
+	scan, _ := childByName(root, "scan")
+	if got := scan.Attrs["shards"]; got != float64(4) {
+		t.Fatalf("scan shards attr = %v", got)
+	}
+	if len(scan.Children) != 4 {
+		t.Fatalf("scan has %d shard children, want 4", len(scan.Children))
+	}
+	var shardSum int64
+	seen := map[float64]bool{}
+	for _, sh := range scan.Children {
+		if sh.Name != "shard" {
+			t.Fatalf("scan child %q, want shard", sh.Name)
+		}
+		shardSum += sh.DurationMicros
+		idx, ok := sh.Attrs["shard"].(float64)
+		if !ok || seen[idx] {
+			t.Fatalf("shard index attr bad/duplicated: %v", sh.Attrs)
+		}
+		seen[idx] = true
+		for _, key := range []string{"worker", "queueWaitMicros", "scanned", "pruned", "fullProducts"} {
+			if _, ok := sh.Attrs[key]; !ok {
+				t.Fatalf("shard span missing %q attr: %v", key, sh.Attrs)
+			}
+		}
+	}
+	// Two workers over four shards: shard scans overlap in wall time, so
+	// their sum may legitimately exceed the scan span — but never by more
+	// than the worker-pool parallelism factor.
+	if shardSum > 2*scan.DurationMicros+8 {
+		t.Fatalf("shard sum %dµs > workers×scan %dµs", shardSum, scan.DurationMicros)
+	}
+
+	// Mutations are traced too and the ring is newest-first.
+	resp = postJSON(t, ts.URL+"/v1/items", map[string]any{"vector": q})
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	_, recorded, entries = debugQueries(t, ts.URL)
+	if recorded != 2 || len(entries) != 2 {
+		t.Fatalf("after add: recorded %d entries %d", recorded, len(entries))
+	}
+	if entries[0].Method != "add" || entries[1].Method != "search" {
+		t.Fatalf("ring order: %q then %q, want add then search", entries[0].Method, entries[1].Method)
+	}
+	if entries[0].Span.Name != "add" {
+		t.Fatalf("add root span %q", entries[0].Span.Name)
+	}
+}
+
+// TestTraceMutationRebuild: on an index small enough that a single add
+// crosses the rebuild fraction, the add's span tree carries the
+// rebuild child with its fold/drop attributes.
+func TestTraceMutationRebuild(t *testing.T) {
+	ts := newObsServer(t, 3, 4, server.Config{Trace: true})
+	resp := postJSON(t, ts.URL+"/v1/items", map[string]any{"vector": []float64{0.5, -0.5, 1, 0}})
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	_, _, entries := debugQueries(t, ts.URL)
+	if len(entries) != 1 || entries[0].Span.Name != "add" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	rb, ok := childByName(entries[0].Span, "rebuild")
+	if !ok {
+		t.Fatalf("add span has no rebuild child: %+v", entries[0].Span)
+	}
+	if rb.Attrs["deltaFolded"] != float64(1) || rb.Attrs["items"] != float64(4) {
+		t.Fatalf("rebuild attrs = %v", rb.Attrs)
+	}
+
+	// A delete below the fraction is traced but performs no rebuild.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/items/0", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp2.StatusCode)
+	}
+	_, _, entries = debugQueries(t, ts.URL)
+	if entries[0].Method != "delete" || entries[0].Span.Name != "delete" {
+		t.Fatalf("delete entry = %+v", entries[0])
+	}
+}
+
+// TestTraceSlowQueryThreshold: with a threshold no test query can
+// reach, traced queries still run but never enter the ring.
+func TestTraceSlowQueryThreshold(t *testing.T) {
+	ts := newObsServer(t, 100, 4, server.Config{Trace: true, SlowQuery: time.Hour})
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 0, 0, 0}, "k": 2})
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	enabled, recorded, entries := debugQueries(t, ts.URL)
+	if !enabled || recorded != 0 || len(entries) != 0 {
+		t.Fatalf("enabled %v recorded %d entries %d, want true 0 0", enabled, recorded, len(entries))
+	}
+}
+
+// TestTraceDisabled: without Config.Trace the endpoint answers
+// enabled:false with an empty list (not 404), and searches carry no
+// span work.
+func TestTraceDisabled(t *testing.T) {
+	ts := newObsServer(t, 100, 4, server.Config{})
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 0, 0, 0}, "k": 2})
+	_ = resp.Body.Close()
+	enabled, recorded, entries := debugQueries(t, ts.URL)
+	if enabled || recorded != 0 || len(entries) != 0 {
+		t.Fatalf("enabled %v recorded %d entries %d, want false 0 0", enabled, recorded, len(entries))
+	}
+}
+
+// TestMetricsGolden pins the observability contract of the exposition:
+// family ordering is sorted, histograms carry a +Inf bucket, the
+// windowed quantile gauges appear with properly quoted labels, and the
+// build-info/uptime/SLO series are present.
+func TestMetricsGolden(t *testing.T) {
+	ts := newObsServer(t, 200, 8, server.Config{Trace: true})
+	q := []float64{1, -0.5, 0.3, 0.7, -0.2, 0.1, 0.9, -1.1}
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": q, "k": 5})
+		_ = resp.Body.Close()
+	}
+	body := scrape(t, ts.URL)
+
+	// Families appear in sorted order exactly once.
+	var families []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			families = append(families, strings.Fields(line)[2])
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no HELP lines in exposition")
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] <= families[i-1] {
+			t.Fatalf("families out of order: %q after %q", families[i], families[i-1])
+		}
+	}
+
+	// Every histogram family ends with a +Inf bucket.
+	if !strings.Contains(body, `fexipro_search_latency_seconds_bucket{variant="F-SIR",le="+Inf"}`) {
+		t.Fatal("latency histogram missing +Inf bucket")
+	}
+	if !strings.Contains(body, `le="+Inf"`) {
+		t.Fatal("no +Inf buckets at all")
+	}
+
+	// Windowed quantile gauges: all four, with the quantile label quoted
+	// and the values monotone nondecreasing in q.
+	var prev float64 = -1
+	for _, qt := range []string{"0.5", "0.95", "0.99", "0.999"} {
+		sample := obs.MetricSearchLatencyWindow + `{quantile="` + qt + `"}`
+		v := metricValue(t, body, sample)
+		if v < prev {
+			t.Fatalf("window quantiles not monotone: q=%s is %v < %v", qt, v, prev)
+		}
+		prev = v
+	}
+	if prev <= 0 {
+		t.Fatal("p999 window quantile is zero after three searches")
+	}
+
+	// SLO burn counters for every default objective.
+	for _, obj := range server.DefaultSLOs {
+		metricValue(t, body, obs.MetricSLOViolations+`{objective="`+obj.String()+`"}`)
+	}
+
+	// Build info: constant 1, labels quoted, go_version populated.
+	re := regexp.MustCompile(obs.MetricBuildInfo + `\{go_version="(go[^"]+)",version="[^"]*"\} 1`)
+	if !re.MatchString(body) {
+		t.Fatalf("build info series malformed or missing:\n%s", body)
+	}
+
+	// Uptime advances between scrapes.
+	up1 := metricValue(t, body, "fexserve_uptime_seconds")
+	time.Sleep(5 * time.Millisecond)
+	up2 := metricValue(t, scrape(t, ts.URL), "fexserve_uptime_seconds")
+	if up2 <= up1 {
+		t.Fatalf("uptime did not advance: %v → %v", up1, up2)
+	}
+}
+
+// TestSpanLogSummary: with tracing on, the request log line carries the
+// per-stage span summary group.
+func TestSpanLogSummary(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts := newObsServer(t, 100, 4, server.Config{Trace: true, Logger: logger})
+	resp := postJSON(t, ts.URL+"/v1/search", map[string]any{"vector": []float64{1, 2, 3, 4}, "k": 3})
+	_ = resp.Body.Close()
+
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.Split(strings.TrimSpace(buf.String()), "\n")[0]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	spans, ok := entry["spans"].(map[string]any)
+	if !ok {
+		t.Fatalf("log line missing spans group: %v", entry)
+	}
+	for _, key := range []string{"transformMicros", "scanMicros", "mergeMicros", "rebuildMicros"} {
+		if _, ok := spans[key]; !ok {
+			t.Fatalf("spans group missing %q: %v", key, spans)
+		}
+	}
+}
