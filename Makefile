@@ -18,7 +18,7 @@ RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./int
 # one target per invocation).
 FUZZTIME ?= 10s
 
-.PHONY: all verify build test check vet lint lint-race lint-fix-check fmt-check precommit race race-subset fuzz-smoke bench bench-shard load-smoke
+.PHONY: all verify build test check vet lint lint-race lint-fix-check perf-gate perf-facts fmt-check precommit race race-subset fuzz-smoke bench bench-shard load-smoke
 
 all: check
 
@@ -34,7 +34,7 @@ test:
 ## check: verify + static analysis + formatting + race detector on the
 ## concurrency-sensitive subset (fast enough for a local loop; CI also
 ## runs the full `make race`).
-check: verify vet lint lint-fix-check fmt-check race-subset
+check: verify vet lint lint-fix-check perf-gate fmt-check race-subset
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,21 @@ lint-fix-check:
 		exit 1; \
 	fi; \
 	if [ $$status -ne 0 ]; then echo "$$log"; exit $$status; fi
+
+## perf-gate: compiler-fact perf contracts (DESIGN.md §14). Runs the
+## real compiler with `-gcflags='-m -d=ssa/check_bce'` and checks the
+## diagnostics against the committed .fexperf-facts.json: //fex:hot
+## loops must stay free of heap escapes, their bounds-check counts may
+## only ratchet down, and //fex:inline kernels must stay inlinable.
+## Skips (exit 0, with a reason) on toolchain skew; regenerate the
+## manifest with `make perf-facts` after an intentional change.
+perf-gate:
+	$(GO) run ./cmd/fexlint -perf ./...
+
+## perf-facts: regenerate .fexperf-facts.json from the current tree and
+## toolchain. Commit the result; CI diffs against it.
+perf-facts:
+	$(GO) run ./cmd/fexlint -write-perf-facts ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -7,8 +7,20 @@
 //
 //	fexlint [-json] [-fix] [-analyzers a,b,...] [-baseline FILE]
 //	        [-write-baseline] [patterns...]
+//	fexlint -perf [-perf-facts FILE] [patterns...]
+//	fexlint -write-perf-facts [-perf-facts FILE] [patterns...]
 //
 // Patterns default to ./... relative to the enclosing module.
+//
+// -perf runs the compiler-fact perf gate instead of the analyzers: it
+// compiles the tree with `-gcflags='-m -d=ssa/check_bce'` and enforces
+// the committed .fexperf-facts.json manifest — zero heap escapes in
+// //fex:hot functions, no new bounds checks (ratcheted per function),
+// and //fex:inline kernels still inlinable. Unrecognized toolchain
+// output or a Go version other than the manifest's SKIPS the gate with
+// a printed reason and exit 0 (compiler diagnostics are not a stable
+// API). -write-perf-facts regenerates the manifest from the current
+// tree and exits 0. See internal/lint/perfgate and DESIGN.md §14.
 //
 // Exit status (a contract scripts may rely on):
 //
@@ -61,6 +73,7 @@ import (
 	"path/filepath"
 
 	"fexipro/internal/lint"
+	"fexipro/internal/lint/perfgate"
 )
 
 func main() {
@@ -75,6 +88,9 @@ func run(args []string) int {
 	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place")
 	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (default: <module>/.fexlint-baseline.json)")
 	writeBaseline := fs.Bool("write-baseline", false, "record current findings to the baseline file and exit 0")
+	perf := fs.Bool("perf", false, "run the compiler-fact perf gate instead of the analyzers")
+	writePerfFacts := fs.Bool("write-perf-facts", false, "regenerate the perf-facts manifest and exit 0")
+	perfFactsPath := fs.String("perf-facts", "", "perf-facts manifest (default: <module>/.fexperf-facts.json)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,6 +119,12 @@ func run(args []string) int {
 	root := loader.ModuleRoot()
 	if *baselinePath == "" {
 		*baselinePath = filepath.Join(root, ".fexlint-baseline.json")
+	}
+	if *perfFactsPath == "" {
+		*perfFactsPath = filepath.Join(root, ".fexperf-facts.json")
+	}
+	if *perf || *writePerfFacts {
+		return runPerfGate(root, *perfFactsPath, *writePerfFacts, fs.Args())
 	}
 
 	units, err := loader.Load(fs.Args()...)
@@ -191,6 +213,40 @@ func run(args []string) int {
 		}
 	}
 	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runPerfGate is the -perf / -write-perf-facts entry point. It shares
+// fexlint's exit-status contract: 0 clean or skipped-with-reason, 1
+// contract violations, 2 operational errors.
+func runPerfGate(root, manifestPath string, write bool, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if write {
+		m, err := perfgate.Write("", root, manifestPath, patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fexlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fexlint: wrote perf facts for %d function(s) to %s\n", len(m.Functions), manifestPath)
+		return 0
+	}
+	res, err := perfgate.Run("", root, manifestPath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fexlint:", err)
+		return 2
+	}
+	if res.SkipReason != "" {
+		fmt.Fprintf(os.Stderr, "fexlint: perf gate skipped: %s\n", res.SkipReason)
+		return 0
+	}
+	for _, p := range res.Problems {
+		fmt.Println(p.String())
+	}
+	if len(res.Problems) > 0 {
 		return 1
 	}
 	return 0

@@ -167,7 +167,8 @@ func (idx *Index) scanRange(ctx context.Context, hook *faults.Hook, qs *querySta
 			}
 		}
 		t := shared.Floor(c.Threshold())
-		if qs.qNorm*idx.norms[i] < t {
+		lenBound := qs.qNorm * idx.norms[i] //fex:bound
+		if lenBound < t {
 			if !idx.opts.Unsorted {
 				// Sorted by length: nothing later in this range can
 				// qualify either.
@@ -273,7 +274,7 @@ func (idx *Index) coordinateScan(i int, qs *queryState, t, slack float64, stats 
 	qbar := qs.qbar
 	row := idx.bar.Row(i)
 	margin := slack * (math.Abs(t) + 1)
-	ub1 := qs.barTail * idx.barTail[i]
+	ub1 := qs.barTail * idx.barTail[i] //fex:bound
 
 	// Lines 2–8: integer upper bounds, partial (Eq. 6) then full (Eq. 3).
 	// Under the ReductionFirst (SRI-order) ablation these move after the
@@ -282,14 +283,14 @@ func (idx *Index) coordinateScan(i int, qs *queryState, t, slack float64, stats 
 	if qs.intOK && !idx.opts.ReductionFirst {
 		id := idx.ints
 		iuHead := idx.intDot(qs, i, 0, w) + qs.qSumAbsHead + id.sumAbsHead[i] + int64(w)
-		bHead = float64(iuHead) * qs.headFactor
+		bHead = float64(iuHead) * qs.headFactor //fex:bound
 		if bHead+ub1 < t-margin {
 			stats.PrunedByIntHead++
 			return 0, false
 		}
 		if w < d {
 			iuTail := idx.intDot(qs, i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
-			bTail := float64(iuTail) * qs.tailFactor
+			bTail := float64(iuTail) * qs.tailFactor //fex:bound
 			if bHead+bTail < t-margin {
 				stats.PrunedByIntFull++
 				return 0, false
@@ -312,7 +313,7 @@ func (idx *Index) coordinateScan(i int, qs *queryState, t, slack float64, stats 
 	if qs.redOK {
 		rd := idx.red
 		hhPartial := 2*v*qs.invBarNorm + rd.headConstP[i] + qs.headConstQ
-		ub2 := qs.hhTailQ * rd.hhTail[i]
+		ub2 := qs.hhTailQ * rd.hhTail[i] //fex:bound
 		if !math.IsInf(t, -1) {
 			tPrime := 2*t*qs.invBarNorm + qs.kq
 			hhMargin := slack * (math.Abs(tPrime) + 1)
@@ -328,7 +329,7 @@ func (idx *Index) coordinateScan(i int, qs *queryState, t, slack float64, stats 
 	if qs.intOK && idx.opts.ReductionFirst {
 		id := idx.ints
 		iuTail := idx.intDot(qs, i, w, d) + qs.qSumAbsTail + id.sumAbsTail[i] + int64(d-w)
-		bTail := float64(iuTail) * qs.tailFactor
+		bTail := float64(iuTail) * qs.tailFactor //fex:bound
 		if v+bTail < t-margin {
 			stats.PrunedByIntFull++
 			return 0, false

@@ -187,7 +187,7 @@ func (e *Engine) SearchContext(ctx context.Context, q []float64, k int) ([]topk.
 		// the catalog size — cancellation already happened inside the
 		// shard scans, so a poll here would only delay the merge.
 		//lint:ignore ctxpoll bounded merge of ≤ shards·k retained results
-		for _, r := range o.res {
+		for _, r := range o.res { //fex:hot
 			merged.Push(r.ID, r.Score)
 		}
 		if o.err != nil && firstErr == nil {

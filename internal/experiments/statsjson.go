@@ -13,6 +13,12 @@ import (
 // schema (obs.StageCounters) that fexserve reports online. This keeps
 // benchmark dumps and production telemetry diffable field by field.
 type StatsReport struct {
+	// GoVersion and GCFlags identify the toolchain that produced these
+	// numbers (obs.Toolchain), so diffs against BENCH_seed.json can
+	// separate compiler upgrades from code changes.
+	GoVersion string `json:"goVersion"`
+	GCFlags   string `json:"gcflags,omitempty"`
+
 	Dataset         string            `json:"dataset"`
 	Method          string            `json:"method"`
 	K               int               `json:"k"`
@@ -47,6 +53,7 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 	if k <= 0 {
 		k = 1
 	}
+	goVersion, gcflags := obs.Toolchain()
 	var out []StatsReport
 	for _, p := range cfg.profiles() {
 		ds := cfg.Load(p)
@@ -60,6 +67,8 @@ func CollectStats(cfg Config, methods []string, k int) ([]StatsReport, error) {
 				shards, workers = 0, 0 // omitted: sequential scan
 			}
 			rep := StatsReport{
+				GoVersion:       goVersion,
+				GCFlags:         gcflags,
 				Dataset:         r.Dataset,
 				Method:          r.Method,
 				K:               r.K,

@@ -57,6 +57,8 @@ func buildCoordBounds(b *bucket) *coordBounds {
 
 // cosUpperBound returns the best cosine any bucket member can achieve
 // with the unit query.
+//
+//fex:bound
 func (cb *coordBounds) cosUpperBound(qUnit []float64) float64 {
 	var ub float64
 	for s, q := range qUnit {
@@ -75,6 +77,8 @@ func (cb *coordBounds) cosUpperBound(qUnit []float64) float64 {
 
 // bucketBound converts the cosine bound into an inner-product bound over
 // the bucket, handling the negative-cosine case via the smallest norm.
+//
+//fex:bound
 func (cb *coordBounds) bucketBound(qNorm, maxNorm, cosUB float64) float64 {
 	if cosUB >= 0 {
 		return qNorm * maxNorm * cosUB

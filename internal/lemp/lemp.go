@@ -271,7 +271,8 @@ func (idx *Index) scanBuckets(ctx context.Context, hook *faults.Hook, qs *lempQu
 	for bi := bLo; bi < bHi; bi++ {
 		b := &idx.buckets[bi]
 		t := shared.Floor(c.Threshold())
-		if qs.qNorm*b.maxNorm < t {
+		bucketCap := qs.qNorm * b.maxNorm //fex:bound
+		if bucketCap < t {
 			for bj := bi; bj < bHi; bj++ {
 				stats.PrunedByLength += len(idx.buckets[bj].ids)
 			}
@@ -307,7 +308,7 @@ func (idx *Index) scanBucket(ctx context.Context, hook *faults.Hook, done <-chan
 		}
 		*pos++
 		t := shared.Floor(c.Threshold())
-		lenBound := qs.qNorm * b.norms[i]
+		lenBound := qs.qNorm * b.norms[i] //fex:bound
 		if lenBound < t {
 			stats.PrunedByLength += b.unit.Rows - i
 			return nil

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fexipro/internal/lint/flow"
+)
+
+// BoundFlow enforces the bound-value discipline of PAPER.md §4 with
+// real dataflow instead of token matching: a value produced by an
+// upper-bound computation (SVD partial-sum bounds, scaled-integer
+// bounds, LEMP bucket caps) is TAINTED, and a tainted value may only
+// reach strictly-conservative threshold comparisons. Everything else a
+// bound can do — feed Stats counters, flow into further bound
+// arithmetic, be rescaled into an exact score that is pushed to the
+// collector — is legal, because only comparisons decide pruning.
+//
+// Sources. An assignment (or var declaration) carrying a //fex:bound
+// directive on its line or the line above taints its left-hand sides; a
+// function whose declaration carries //fex:bound taints its results at
+// every call site, across package boundaries (unit passes export
+// "bound-fn" facts; the module phase joins them, so the analysis is
+// interprocedural where kernelcontract's fixpoint was unit-local).
+//
+// Propagation is direction-aware over each function's CFG
+// (internal/lint/flow): if b is an upper bound of s, then b+x, b-x,
+// b*x, b/x and x+b, x*b still dominate the corresponding function of s,
+// so taint survives; x-b and x/b flip the inequality's direction, so
+// taint DROPS — that is exactly the `theta = t / lenBound` idiom in the
+// SS-L and LEMP scans, which turns a bound into a conservative
+// per-item threshold. Reassigning a variable from a clean expression
+// (the sanitizing exact recompute, `v = vec.Dot(q, p)`) kills its
+// taint: the analysis is flow-sensitive, not syntactic.
+//
+// Sinks. (1) A comparison with a tainted side must keep the equality
+// case of the TRUE score: bound on the left admits only `<` (strict
+// prune) and `>=` (tie-keeping keep); bound on the right admits `>` and
+// `<=`; `==`/`!=` are never legal (Theorems 1–4 give b >= s, nothing
+// more). (2) A tainted value returned from a function NOT annotated
+// //fex:bound escapes the analysis unlabelled and is reported — either
+// the function is a bound combinator (annotate it, and callers inherit
+// the taint) or a bound is leaking into a context that will treat it as
+// an exact score.
+var BoundFlow = &Analyzer{
+	Name:      "boundflow",
+	Doc:       "bound-derived values (//fex:bound) may only reach strictly-conservative threshold comparisons; interprocedural via facts",
+	Run:       runBoundFlow,
+	RunModule: runBoundFlowModule,
+}
+
+const factBoundFn = "bound-fn"
+
+// runBoundFlow only exports facts: every function declaration annotated
+// //fex:bound becomes a "bound-fn" fact keyed by its qualified name.
+// All checking happens in the module phase, where the full cross-unit
+// fact set is available, so findings never depend on which unit a
+// caller lives in.
+func runBoundFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		lines := boundDirectiveLines(pass.Fset, file)
+		if len(lines) == 0 {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !annotatedAt(lines, pass.Fset.Position(fd.Pos()).Line) {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportFact(fd.Pos(), factBoundFn, obj.FullName())
+			}
+		}
+	}
+}
+
+func runBoundFlowModule(mp *ModulePass) {
+	boundFns := make(map[string]bool)
+	for _, f := range mp.Facts {
+		if f.Name == factBoundFn {
+			boundFns[f.Value] = true
+		}
+	}
+	for _, u := range mp.Units {
+		checkBoundFlowUnit(mp, u, boundFns)
+	}
+}
+
+// boundDirectiveLines returns the set of lines in file carrying a
+// //fex:bound directive.
+func boundDirectiveLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "fex:bound" || strings.HasPrefix(text, "fex:bound ") {
+				if lines == nil {
+					lines = make(map[int]bool)
+				}
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// annotatedAt reports whether a directive sits on line or the line
+// above — the same placement rule as //fex:hot and //lint:ignore.
+func annotatedAt(lines map[int]bool, line int) bool {
+	return lines[line] || lines[line-1]
+}
+
+func checkBoundFlowUnit(mp *ModulePass, u *Unit, boundFns map[string]bool) {
+	for _, file := range u.Files {
+		lines := boundDirectiveLines(u.Fset, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBoundFlowFunc(mp, u, fd, lines, boundFns)
+		}
+	}
+}
+
+// isBoundCall reports whether e is a call whose static callee is a
+// //fex:bound function (same unit or any other — the fact set is
+// module-wide).
+func isBoundCall(info *types.Info, boundFns map[string]bool, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := flow.Callee(info, call)
+	if callee == nil {
+		return false
+	}
+	fn, ok := callee.(*types.Func)
+	return ok && boundFns[fn.FullName()]
+}
+
+func checkBoundFlowFunc(mp *ModulePass, u *Unit, fd *ast.FuncDecl, lines map[int]bool, boundFns map[string]bool) {
+	// Prefilter: the function must contain at least one taint source —
+	// an annotated statement line within its span, or a call to a
+	// bound function — before the CFG is worth building.
+	startLine := u.Fset.Position(fd.Body.Pos()).Line
+	endLine := u.Fset.Position(fd.Body.End()).Line
+	hasSource := false
+	for line := range lines {
+		if line >= startLine && line <= endLine {
+			hasSource = true
+			break
+		}
+	}
+	if !hasSource && len(boundFns) > 0 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if hasSource {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && isBoundCall(u.Info, boundFns, e) {
+				hasSource = true
+				return false
+			}
+			return true
+		})
+	}
+	if !hasSource {
+		return
+	}
+
+	g := flow.New(fd.Body)
+	res := flow.Solve(g, flow.TaintSpec{
+		Info: u.Info,
+		Source: func(e ast.Expr) bool {
+			return isBoundCall(u.Info, boundFns, e)
+		},
+		SourceStmt: func(stmt ast.Node) bool {
+			return annotatedAt(lines, u.Fset.Position(stmt.Pos()).Line)
+		},
+		Binary: boundBinaryRule,
+	})
+
+	fnIsBound := annotatedAt(lines, u.Fset.Position(fd.Pos()).Line)
+	for _, blk := range g.Blocks {
+		for _, node := range blk.Nodes {
+			checkBoundFlowNode(mp, u, res, node, fnIsBound)
+		}
+	}
+}
+
+// boundBinaryRule is the direction-aware propagation: an upper bound
+// survives +, * on either side and -, / on the LEFT; subtracting a
+// bound or dividing by one flips the inequality direction and yields a
+// conservative threshold instead, so taint drops. Comparisons and
+// logical operators produce booleans, never bounds.
+func boundBinaryRule(op token.Token, x, y ast.Expr, xt, yt bool) bool {
+	switch op {
+	case token.ADD, token.MUL:
+		return xt || yt
+	case token.SUB, token.QUO:
+		return xt
+	case token.REM, token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+		return xt || yt
+	}
+	return false
+}
+
+// checkBoundFlowNode inspects one CFG node's expressions for illegal
+// uses of tainted values.
+func checkBoundFlowNode(mp *ModulePass, u *Unit, res *flow.TaintResult, node ast.Node, fnIsBound bool) {
+	// Unwrap the flow package's synthetic node kinds into inspectable
+	// expressions; go/ast.Inspect panics on non-standard nodes.
+	var roots []ast.Node
+	switch n := node.(type) {
+	case flow.Cond:
+		roots = []ast.Node{n.Expr}
+	case *flow.RangeAssign:
+		roots = []ast.Node{n.X}
+	default:
+		roots = []ast.Node{node}
+	}
+
+	for _, root := range roots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // literals run on their own schedule; out of scope
+			}
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkBoundComparison(mp, u, res, node, e)
+			case *ast.ReturnStmt:
+				if fnIsBound {
+					return true
+				}
+				for _, r := range e.Results {
+					if res.Tainted(node, r) {
+						mp.Reportf(u.Fset.Position(r.Pos()),
+							"bound-derived value returned from a function not annotated //fex:bound: callers will treat the result as exact; annotate the function (making callers inherit the taint) or recompute the exact value before returning (PAPER.md §4)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkBoundComparison(mp *ModulePass, u *Unit, res *flow.TaintResult, node ast.Node, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	xt := res.Tainted(node, be.X)
+	yt := res.Tainted(node, be.Y)
+	if xt == yt {
+		// Neither side, or bound-vs-bound arithmetic (e.g. comparing two
+		// bounds to pick the tighter) — no pruning decision to audit.
+		return
+	}
+	op := be.Op.String()
+	var legal bool
+	var fixed string
+	if xt { // bound on the left: prune `b < t`, keep `b >= t`
+		legal = be.Op == token.LSS || be.Op == token.GEQ
+		switch be.Op {
+		case token.LEQ:
+			fixed = "<"
+		case token.GTR:
+			fixed = ">="
+		}
+	} else { // bound on the right: `t > b` prune, `t <= b` keep
+		legal = be.Op == token.GTR || be.Op == token.LEQ
+		switch be.Op {
+		case token.GEQ:
+			fixed = ">"
+		case token.LSS:
+			fixed = "<="
+		}
+	}
+	if legal {
+		return
+	}
+	msg := "comparison %q on a bound-derived value prunes or drops exact ties: an upper bound b >= score admits only strict prune (b < t) and tie-keeping keep (b >= t)"
+	if fixed != "" {
+		msg += "; use " + fixed
+	}
+	mp.Reportf(u.Fset.Position(be.OpPos), msg, op)
+}

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/types"
 	"strings"
+
+	"fexipro/internal/lint/flow"
 )
 
 // CtxPoll enforces DESIGN.md §10's cancellation contract: every
@@ -19,11 +21,28 @@ import (
 // are exempt. Without a poll, a deadline or client disconnect cannot
 // stop the scan — the exact failure mode PR 3's serving guards exist to
 // prevent.
+//
+// The analysis is interprocedural: a function that polls at entry
+// (before any loop) is an ENTRY POLLER, and a call to an entry poller
+// counts as a poll at the call site — one poll per call, regardless of
+// how many items the callee then touches, which is exactly the per-node
+// guarantee the tree-descent idiom relies on. Entry-pollerhood is a
+// same-unit fixpoint (pollers chain through helpers) and crosses
+// package boundaries via "entrypoll" facts: a loop whose only candidate
+// polls are calls into OTHER packages is not judged in the unit pass —
+// it exports a pending fact that the module phase resolves against the
+// full fact set, reporting only if no callee actually polls at entry.
 var CtxPoll = &Analyzer{
-	Name: "ctxpoll",
-	Doc:  "scan loops reachable from SearchContext/Scan must poll cancellation every CheckStride items",
-	Run:  runCtxPoll,
+	Name:      "ctxpoll",
+	Doc:       "scan loops reachable from SearchContext/Scan must poll cancellation every CheckStride items",
+	Run:       runCtxPoll,
+	RunModule: runCtxPollModule,
 }
+
+const (
+	factEntryPoll   = "entrypoll"
+	factPendingPoll = "pendingpoll"
+)
 
 // ctxEntryNames are the function names that root the reachability walk.
 var ctxEntryNames = map[string]bool{
@@ -38,6 +57,7 @@ func runCtxPoll(pass *Pass) {
 	// Index every function declaration by its *types.Func object so the
 	// call-graph walk can resolve same-unit static calls.
 	decls := make(map[types.Object]*ast.FuncDecl)
+	var declOrder []types.Object
 	var entries []*ast.FuncDecl
 	for _, file := range pass.Files {
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
@@ -51,12 +71,42 @@ func runCtxPoll(pass *Pass) {
 			obj := pass.Info.Defs[fd.Name]
 			if obj != nil {
 				decls[obj] = fd
+				declOrder = append(declOrder, obj)
 			}
 			if ctxEntryNames[fd.Name.Name] || isKernelScanDecl(pass, fd) {
 				entries = append(entries, fd)
 			}
 		}
 	}
+
+	// Entry-poller fixpoint: a function polls at entry if it checks
+	// cancellation outside any loop, where a call to an already-known
+	// entry poller counts as a check. Chains of helpers converge in a
+	// few rounds.
+	pollers := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range declOrder {
+			if pollers[obj] {
+				continue
+			}
+			if hasEntryPoll(pass, pollers, decls[obj]) {
+				pollers[obj] = true
+				changed = true
+			}
+		}
+	}
+	// Publish entry pollers for other units' pending loops — every unit
+	// exports, even ones with no context entry points of their own.
+	for _, obj := range declOrder {
+		if !pollers[obj] {
+			continue
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			pass.ExportFact(decls[obj].Pos(), factEntryPoll, fn.FullName())
+		}
+	}
+
 	if len(entries) == 0 {
 		return
 	}
@@ -97,7 +147,37 @@ func runCtxPoll(pass *Pass) {
 	}
 
 	for fd, root := range reachable {
-		checkScanLoops(pass, fd, root)
+		checkScanLoops(pass, pollers, fd, root)
+	}
+}
+
+// runCtxPollModule resolves the pending loops: a loop whose candidate
+// polls are cross-package calls is reported only if none of those
+// callees is an entry poller anywhere in the module.
+func runCtxPollModule(mp *ModulePass) {
+	pollers := make(map[string]bool)
+	for _, f := range mp.Facts {
+		if f.Name == factEntryPoll {
+			pollers[f.Value] = true
+		}
+	}
+	for _, f := range mp.Facts {
+		if f.Name != factPendingPoll {
+			continue
+		}
+		root, callees, _ := strings.Cut(f.Value, "|")
+		resolved := false
+		for _, c := range strings.Split(callees, ",") {
+			if pollers[c] {
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			mp.Reportf(f.Pos,
+				"scan loop reachable from %s cannot be cancelled: no search.Poll / ctx.Err / Done-channel check in this loop, an enclosing loop, or at function entry, and none of its cross-package callees (%s) polls at entry (DESIGN.md §10)",
+				root, callees)
+		}
 	}
 }
 
@@ -115,9 +195,12 @@ func isContextType(t types.Type) bool {
 	return t != nil && t.String() == "context.Context"
 }
 
-// checkScanLoops flags every unsatisfied scan loop in fd.
-func checkScanLoops(pass *Pass, fd *ast.FuncDecl, root string) {
-	entryPoll := hasEntryPoll(pass, fd)
+// checkScanLoops flags every unsatisfied scan loop in fd. A loop that
+// calls into other packages is not condemned locally: its candidate
+// callees are exported as a pending fact and judged in the module phase
+// against the full entry-poller set.
+func checkScanLoops(pass *Pass, pollers map[types.Object]bool, fd *ast.FuncDecl, root string) {
+	entryPoll := hasEntryPoll(pass, pollers, fd)
 	var visit func(n ast.Node, ancestorPolled bool)
 	visit = func(n ast.Node, ancestorPolled bool) {
 		switch s := n.(type) {
@@ -125,12 +208,16 @@ func checkScanLoops(pass *Pass, fd *ast.FuncDecl, root string) {
 			return // closures run on their own goroutine/schedule
 		case *ast.ForStmt, *ast.RangeStmt:
 			body := loopBody(s)
-			polled := containsPoll(pass, body)
+			polled := containsPoll(pass, pollers, body)
 			if isScanLoop(pass, fd, body) &&
 				!polled && !ancestorPolled && !entryPoll && !guardedUncancellable(pass, fd, s) {
-				pass.Reportf(n.Pos(),
-					"scan loop reachable from %s cannot be cancelled: no search.Poll / ctx.Err / Done-channel check in this loop, an enclosing loop, or at function entry (DESIGN.md §10)",
-					root)
+				if exts := externalCallees(pass, body); len(exts) > 0 {
+					pass.ExportFact(n.Pos(), factPendingPoll, root+"|"+strings.Join(exts, ","))
+				} else {
+					pass.Reportf(n.Pos(),
+						"scan loop reachable from %s cannot be cancelled: no search.Poll / ctx.Err / Done-channel check in this loop, an enclosing loop, or at function entry (DESIGN.md §10)",
+						root)
+				}
 			}
 			for _, st := range body.List {
 				visit(st, ancestorPolled || polled)
@@ -143,6 +230,37 @@ func checkScanLoops(pass *Pass, fd *ast.FuncDecl, root string) {
 	for _, st := range fd.Body.List {
 		visit(st, false)
 	}
+}
+
+// externalCallees lists the qualified names of functions from OTHER
+// packages called anywhere in body (closures excluded) — the candidate
+// entry pollers the module phase resolves.
+func externalCallees(pass *Pass, body *ast.BlockStmt) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := flow.Callee(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+			return true
+		}
+		fn, ok := callee.(*types.Func)
+		if !ok {
+			return true
+		}
+		if name := fn.FullName(); !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+		return true
+	})
+	return out
 }
 
 // loopBody returns the body block of a for or range statement.
@@ -279,9 +397,9 @@ func appendsResult(pass *Pass, call *ast.CallExpr) bool {
 
 // containsPoll reports whether block contains a cancellation check at
 // any depth, excluding closures: a call to a function named Poll, a
-// ctx.Err() call, or a receive from a Done channel (directly or in a
-// select).
-func containsPoll(pass *Pass, block *ast.BlockStmt) bool {
+// ctx.Err() call, a receive from a Done channel (directly or in a
+// select), or a call to a same-unit entry poller.
+func containsPoll(pass *Pass, pollers map[types.Object]bool, block *ast.BlockStmt) bool {
 	if block == nil {
 		return false
 	}
@@ -294,7 +412,7 @@ func containsPoll(pass *Pass, block *ast.BlockStmt) bool {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if isPollCall(pass, e) {
+			if isPollCall(pass, pollers, e) {
 				found = true
 			}
 		case *ast.UnaryExpr:
@@ -307,8 +425,15 @@ func containsPoll(pass *Pass, block *ast.BlockStmt) bool {
 	return found
 }
 
-// isPollCall recognizes search.Poll-style calls and ctx.Err().
-func isPollCall(pass *Pass, call *ast.CallExpr) bool {
+// isPollCall recognizes search.Poll-style calls, ctx.Err(), and calls
+// to same-unit entry pollers (the interprocedural upgrade: one call =
+// one guaranteed poll).
+func isPollCall(pass *Pass, pollers map[types.Object]bool, call *ast.CallExpr) bool {
+	if len(pollers) > 0 {
+		if callee := flow.Callee(pass.Info, call); callee != nil && pollers[callee] {
+			return true
+		}
+	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		if id, ok := call.Fun.(*ast.Ident); ok {
@@ -349,21 +474,28 @@ func isDoneChanType(t types.Type) bool {
 
 // hasEntryPoll reports whether fd polls cancellation outside any loop —
 // the per-call poll of recursive tree descents, which covers every loop
-// in the function body (each node visit re-polls).
-func hasEntryPoll(pass *Pass, fd *ast.FuncDecl) bool {
+// in the function body (each node visit re-polls). Calls to same-unit
+// entry pollers count, so pollerhood chains through helpers.
+func hasEntryPoll(pass *Pass, pollers map[types.Object]bool, fd *ast.FuncDecl) bool {
 	found := false
+	stopped := false // a loop was reached: later polls cover nothing
 	var visit func(n ast.Node)
 	visit = func(n ast.Node) {
-		if found {
+		if found || stopped {
 			return
 		}
 		switch s := n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
-			return // polls inside loops/closures do not cover the whole call
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Polls inside loops do not cover the whole call, and a poll
+			// AFTER a loop runs too late to cancel it: stop the scan.
+			stopped = true
+			return
+		case *ast.FuncLit:
+			return // closures run on their own schedule
 		case *ast.IfStmt:
 			// Both the condition and the guarded body count: the stride
 			// guard idiom wraps the Poll call in an if.
-			if exprHasPoll(pass, s.Cond) {
+			if exprHasPoll(pass, pollers, s.Cond) {
 				found = true
 				return
 			}
@@ -376,20 +508,20 @@ func hasEntryPoll(pass *Pass, fd *ast.FuncDecl) bool {
 			}
 			return
 		case *ast.ExprStmt:
-			if exprHasPoll(pass, s.X) {
+			if exprHasPoll(pass, pollers, s.X) {
 				found = true
 			}
 			return
 		case *ast.AssignStmt:
 			for _, r := range s.Rhs {
-				if exprHasPoll(pass, r) {
+				if exprHasPoll(pass, pollers, r) {
 					found = true
 				}
 			}
 			return
 		case *ast.ReturnStmt:
 			for _, r := range s.Results {
-				if exprHasPoll(pass, r) {
+				if exprHasPoll(pass, pollers, r) {
 					found = true
 				}
 			}
@@ -407,15 +539,15 @@ func hasEntryPoll(pass *Pass, fd *ast.FuncDecl) bool {
 	}
 	for _, st := range fd.Body.List {
 		visit(st)
-		if found {
-			return true
+		if found || stopped {
+			break
 		}
 	}
 	return found
 }
 
 // exprHasPoll reports whether expr contains a poll call or Done receive.
-func exprHasPoll(pass *Pass, expr ast.Expr) bool {
+func exprHasPoll(pass *Pass, pollers map[types.Object]bool, expr ast.Expr) bool {
 	if expr == nil {
 		return false
 	}
@@ -428,7 +560,7 @@ func exprHasPoll(pass *Pass, expr ast.Expr) bool {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if isPollCall(pass, e) {
+			if isPollCall(pass, pollers, e) {
 				found = true
 			}
 		case *ast.UnaryExpr:

@@ -331,3 +331,73 @@ func TestLoaderParallelImports(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyFixesDedupeAndConflict pins the multi-analyzer fix contract:
+// byte-identical edits from two analyzers collapse to one application,
+// while overlapping edits with different replacements abort naming both
+// analyzers and leave the file untouched.
+func TestApplyFixesDedupeAndConflict(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	const orig = "hello world"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edit := func(off, end int, text string) []SuggestedFix {
+		return []SuggestedFix{{Edits: []TextEdit{{File: path, Offset: off, End: end, NewText: text}}}}
+	}
+
+	// Two analyzers suggesting the exact same edit: applied once.
+	same := []Diagnostic{
+		{Analyzer: "alpha", File: path, Fixes: edit(0, 5, "HELLO")},
+		{Analyzer: "beta", File: path, Fixes: edit(0, 5, "HELLO")},
+	}
+	changed, err := ApplyFixes(same)
+	if err != nil {
+		t.Fatalf("identical edits must dedupe, got: %v", err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed = %v, want just %s", changed, path)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO world" {
+		t.Fatalf("after dedupe apply: %q, want %q", got, "HELLO world")
+	}
+
+	// Same span, different replacement: a genuine conflict.
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	conflict := []Diagnostic{
+		{Analyzer: "alpha", File: path, Fixes: edit(0, 5, "HELLO")},
+		{Analyzer: "beta", File: path, Fixes: edit(0, 5, "goodbye")},
+	}
+	_, err = ApplyFixes(conflict)
+	if err == nil {
+		t.Fatal("conflicting fixes did not error")
+	}
+	for _, want := range []string{"conflicting fixes", "alpha", "beta"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not mention %q", err, want)
+		}
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != orig {
+		t.Fatalf("conflict rewrote the file to %q", got)
+	}
+
+	// Overlapping (not identical) spans conflict too.
+	overlap := []Diagnostic{
+		{Analyzer: "alpha", File: path, Fixes: edit(0, 7, "X")},
+		{Analyzer: "beta", File: path, Fixes: edit(5, 9, "Y")},
+	}
+	if _, err := ApplyFixes(overlap); err == nil || !strings.Contains(err.Error(), "conflicting fixes") {
+		t.Fatalf("overlapping edits: got %v, want conflicting-fixes error", err)
+	}
+}

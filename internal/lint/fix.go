@@ -6,23 +6,32 @@ import (
 	"sort"
 )
 
+// ownedEdit is a TextEdit plus the analyzer that suggested it, so
+// conflict errors can name both sides.
+type ownedEdit struct {
+	TextEdit
+	analyzer string
+}
+
 // ApplyFixes applies the first suggested fix of every diagnostic that
 // carries one and rewrites the affected files in place. Edits are
 // validated against the file length, sorted, and applied back-to-front
-// so earlier offsets stay valid; overlapping edits (two fixes touching
-// the same bytes) abort with an error before anything is written —
-// apply, re-lint, and fix again instead. Returns the files rewritten,
-// sorted. Fix application is idempotent by construction: a fixed site
-// no longer produces the diagnostic, so a second -fix pass sees no
-// edits (`make lint-fix-check` asserts exactly this).
+// so earlier offsets stay valid. Byte-identical edits (two analyzers
+// proposing the same replacement for the same span) are deduplicated
+// and applied once; edits that overlap with DIFFERENT replacements are
+// a genuine conflict and abort with an error naming both analyzers
+// before anything is written. Returns the files rewritten, sorted. Fix
+// application is idempotent by construction: a fixed site no longer
+// produces the diagnostic, so a second -fix pass sees no edits
+// (`make lint-fix-check` asserts exactly this).
 func ApplyFixes(diags []Diagnostic) ([]string, error) {
-	perFile := make(map[string][]TextEdit)
+	perFile := make(map[string][]ownedEdit)
 	for _, d := range diags {
 		if len(d.Fixes) == 0 {
 			continue
 		}
 		for _, e := range d.Fixes[0].Edits {
-			perFile[e.File] = append(perFile[e.File], e)
+			perFile[e.File] = append(perFile[e.File], ownedEdit{TextEdit: e, analyzer: d.Analyzer})
 		}
 	}
 	files := make([]string, 0, len(perFile))
@@ -44,28 +53,41 @@ func ApplyFixes(diags []Diagnostic) ([]string, error) {
 			if edits[i].Offset != edits[j].Offset {
 				return edits[i].Offset < edits[j].Offset
 			}
-			return edits[i].End < edits[j].End
+			if edits[i].End != edits[j].End {
+				return edits[i].End < edits[j].End
+			}
+			return edits[i].NewText < edits[j].NewText
 		})
-		for i, e := range edits {
+		deduped := edits[:0]
+		for _, e := range edits {
 			if e.Offset < 0 || e.End < e.Offset || e.End > len(data) {
 				return nil, fmt.Errorf("lint: fix: edit [%d,%d) out of range for %s (%d bytes)",
 					e.Offset, e.End, f, len(data))
 			}
-			if i > 0 && e.Offset < edits[i-1].End {
-				return nil, fmt.Errorf("lint: fix: overlapping edits at %s:%d and %s:%d — apply -fix again after the first pass",
-					f, edits[i-1].Offset, f, e.Offset)
+			if n := len(deduped); n > 0 {
+				prev := deduped[n-1]
+				if e.Offset == prev.Offset && e.End == prev.End && e.NewText == prev.NewText {
+					continue // identical suggestion from another diagnostic
+				}
+				if e.Offset < prev.End || (e.Offset == prev.Offset && e.End == prev.End) {
+					return nil, fmt.Errorf(
+						"lint: fix: conflicting fixes in %s: %s suggests replacing [%d,%d) with %q but %s suggests replacing [%d,%d) with %q — fix one site by hand, then re-run -fix",
+						f, prev.analyzer, prev.Offset, prev.End, prev.NewText,
+						e.analyzer, e.Offset, e.End, e.NewText)
+				}
 			}
+			deduped = append(deduped, e)
 		}
 		out := make([]byte, 0, len(data))
 		prev := 0
-		for _, e := range edits {
+		for _, e := range deduped {
 			out = append(out, data[prev:e.Offset]...)
 			out = append(out, e.NewText...)
 			prev = e.End
 		}
 		out = append(out, data[prev:]...)
 		contents[f] = out
-		perFile[f] = edits
+		perFile[f] = deduped
 	}
 
 	var changed []string

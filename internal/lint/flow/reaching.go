@@ -1,0 +1,164 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Def is one definition site: obj was assigned at node. A nil Node
+// marks an entry definition (parameter, named result, closed-over
+// variable) live on function entry.
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+}
+
+// ReachingDefs holds the classic reaching-definitions solution: for
+// each CFG node, which definitions of each variable may be the one in
+// force when the node executes.
+type ReachingDefs struct {
+	// before maps each CFG node to the definitions reaching its entry,
+	// keyed by variable.
+	before map[ast.Node]map[types.Object][]Def
+}
+
+// Defs returns the definitions of obj that may reach node. An empty
+// result for a variable used at node means obj is defined outside the
+// analyzed body (package-level, or entry defs weren't seeded).
+func (r *ReachingDefs) Defs(node ast.Node, obj types.Object) []Def {
+	return r.before[node][obj]
+}
+
+// SoleDef returns the unique definition of obj reaching node, or a zero
+// Def and false when zero or multiple definitions reach — the sparse
+// "look through this local" query boundflow uses to walk from a
+// comparison operand back to the expression that produced it.
+func (r *ReachingDefs) SoleDef(node ast.Node, obj types.Object) (Def, bool) {
+	defs := r.before[node][obj]
+	if len(defs) == 1 {
+		return defs[0], true
+	}
+	return Def{}, false
+}
+
+// SolveReaching runs reaching definitions over g. entryObjs seeds
+// entry definitions (typically the function's parameters and receiver).
+func SolveReaching(g *Graph, info *types.Info, entryObjs []types.Object) *ReachingDefs {
+	entry := make([]map[types.Object][]Def, len(g.Blocks))
+	for i := range entry {
+		entry[i] = make(map[types.Object][]Def)
+	}
+	for _, obj := range entryObjs {
+		if obj != nil {
+			entry[g.Entry.Index][obj] = []Def{{Obj: obj}}
+		}
+	}
+
+	work := []*Block{g.Entry}
+	inWork := make([]bool, len(g.Blocks))
+	visited := make([]bool, len(g.Blocks))
+	inWork[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+		visited[blk.Index] = true
+		state := cloneDefs(entry[blk.Index])
+		for _, n := range blk.Nodes {
+			transferDefs(info, state, n)
+		}
+		for _, succ := range blk.Succs {
+			changed := mergeDefs(entry[succ.Index], state)
+			if (changed || !visited[succ.Index]) && !inWork[succ.Index] {
+				inWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	res := &ReachingDefs{before: make(map[ast.Node]map[types.Object][]Def)}
+	for _, blk := range g.Blocks {
+		state := cloneDefs(entry[blk.Index])
+		for _, n := range blk.Nodes {
+			res.before[n] = cloneDefs(state)
+			transferDefs(info, state, n)
+		}
+	}
+	return res
+}
+
+func cloneDefs(m map[types.Object][]Def) map[types.Object][]Def {
+	out := make(map[types.Object][]Def, len(m))
+	for k, v := range m {
+		out[k] = append([]Def(nil), v...)
+	}
+	return out
+}
+
+// mergeDefs unions src into dst, reporting change. Definition identity
+// is (Obj, Node).
+func mergeDefs(dst, src map[types.Object][]Def) bool {
+	changed := false
+	for obj, defs := range src {
+		for _, d := range defs {
+			if !hasDef(dst[obj], d) {
+				dst[obj] = append(dst[obj], d)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func hasDef(defs []Def, d Def) bool {
+	for _, e := range defs {
+		if e.Node == d.Node && e.Obj == d.Obj {
+			return true
+		}
+	}
+	return false
+}
+
+// transferDefs applies one node's gen/kill effect: a definition of obj
+// at n kills every other definition of obj.
+func transferDefs(info *types.Info, state map[types.Object][]Def, n ast.Node) {
+	define := func(obj types.Object) {
+		if obj != nil {
+			state[obj] = []Def{{Obj: obj, Node: n}}
+		}
+	}
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			define(lhsObj(lhs))
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						define(info.Defs[name])
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		define(lhsObj(s.X))
+	case *RangeAssign:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				define(lhsObj(e))
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ var fixtureCases = []struct {
 	{LockHold, "lockhold"},
 	{HotAlloc, "hotalloc"},
 	{APIParity, "apiparity"},
+	{BoundFlow, "boundflow"},
 }
 
 // want is one expectation parsed from a `// want` comment.
@@ -196,8 +197,8 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerRegistry checks All()/ByName round-trips.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("expected 10 analyzers, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 analyzers, got %d", len(all))
 	}
 	names := make([]string, len(all))
 	for i, a := range all {

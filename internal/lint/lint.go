@@ -33,6 +33,10 @@
 //   - apiparity:     exported Search ⇄ SearchContext (and SearchAbove ⇄
 //     SearchAboveContext) parity on every searcher, and every
 //     server/experiments Config field must be wired to a cmd flag.
+//   - boundflow:     dataflow taint over internal/lint/flow CFGs —
+//     values from //fex:bound upper-bound computations may only reach
+//     strictly-conservative threshold comparisons, with bound-fn facts
+//     carrying the taint across package boundaries.
 //
 // The driver type-checks package directories in parallel, runs each
 // analyzer's per-unit pass concurrently across units, then runs an
@@ -386,6 +390,7 @@ func All() []*Analyzer {
 		LockHold,
 		HotAlloc,
 		APIParity,
+		BoundFlow,
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"fexipro/internal/lint/flow"
 )
 
 // LockHold enforces index-mutex discipline (DESIGN.md §10/§12): the
@@ -26,6 +28,14 @@ import (
 //     hold-time is unbounded; annotate the call site if the indirection
 //     is the documented design, as in server.searchLocked).
 //
+// The blocking check is interprocedural within a unit: a same-package
+// helper whose body (transitively) performs one of the blocking
+// operations above is a BLOCKER, and calling it inside a held region is
+// reported with the chain of calls that reaches the blocking operation.
+// Mutex operations themselves are deliberately NOT treated as blocking
+// in callee summaries — lock nesting is the region analysis's job, and
+// summarizing Lock as "blocks" would condemn every locked helper.
+//
 // The held region is the lexical span from the Lock to its matching
 // Unlock (or to function end under a defer). Function literals are not
 // analyzed as part of the region: they usually run after the function
@@ -37,6 +47,9 @@ var LockHold = &Analyzer{
 }
 
 func runLockHold(pass *Pass) {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var declOrder []types.Object
+	var fds []*ast.FuncDecl
 	for _, file := range pass.Files {
 		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
 			continue // tests block on locks deliberately (race harnesses)
@@ -46,9 +59,77 @@ func runLockHold(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkLocks(pass, fd)
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+				declOrder = append(declOrder, obj)
+			}
+			fds = append(fds, fd)
 		}
 	}
+	blockers := blockerFixpoint(pass, decls, declOrder)
+	for _, fd := range fds {
+		checkLocks(pass, blockers, fd)
+	}
+}
+
+// blockerFixpoint computes which same-unit functions (transitively,
+// through same-unit static calls) perform a blocking operation, mapping
+// each to the call chain that reaches it (e.g. "relay → time.Sleep").
+func blockerFixpoint(pass *Pass, decls map[types.Object]*ast.FuncDecl, declOrder []types.Object) map[types.Object]string {
+	blockers := make(map[types.Object]string)
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range declOrder {
+			if blockers[obj] != "" {
+				continue
+			}
+			if reason := directBlockReason(pass, blockers, decls[obj].Body); reason != "" {
+				blockers[obj] = reason
+				changed = true
+			}
+		}
+	}
+	return blockers
+}
+
+// directBlockReason returns why body blocks (one representative reason),
+// or "". Closures are skipped (they run on their own schedule), and a
+// select with a default clause exempts its whole subtree, mirroring the
+// region analysis.
+func directBlockReason(pass *Pass, blockers map[types.Object]string, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reason = "channel send"
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				reason = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(s) {
+				reason = "blocking select"
+			}
+			return false // comm clauses were judged as a unit
+		case *ast.CallExpr:
+			if msg := blockingCallMessage(pass, s); msg != "" {
+				reason = msg
+				return false
+			}
+			if callee := flow.Callee(pass.Info, s); callee != nil {
+				if r := blockers[callee]; r != "" {
+					reason = callee.Name() + " → " + r
+				}
+			}
+		}
+		return true
+	})
+	return reason
 }
 
 // lockCall is one Lock/RLock site in a function.
@@ -60,7 +141,7 @@ type lockCall struct {
 	defers bool      // released via defer (region runs to func end)
 }
 
-func checkLocks(pass *Pass, fd *ast.FuncDecl) {
+func checkLocks(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl) {
 	type event struct {
 		path    string
 		name    string    // Lock, RLock, Unlock, RUnlock
@@ -165,13 +246,13 @@ func checkLocks(pass *Pass, fd *ast.FuncDecl) {
 	}
 
 	for _, r := range regions {
-		flagBlockingInRegion(pass, fd, r)
+		flagBlockingInRegion(pass, blockers, fd, r)
 	}
 }
 
 // flagBlockingInRegion reports blocking operations between the lock and
 // its release.
-func flagBlockingInRegion(pass *Pass, fd *ast.FuncDecl, r lockCall) {
+func flagBlockingInRegion(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl, r lockCall) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
 			return true
@@ -202,6 +283,11 @@ func flagBlockingInRegion(pass *Pass, fd *ast.FuncDecl, r lockCall) {
 		case *ast.CallExpr:
 			if msg := blockingCallMessage(pass, s); msg != "" {
 				pass.Reportf(s.Pos(), "%s while holding %s — move it after the unlock or document why with //lint:ignore lockhold", msg, r.path)
+			} else if callee := flow.Callee(pass.Info, s); callee != nil {
+				if reason := blockers[callee]; reason != "" {
+					pass.Reportf(s.Pos(), "call to %s while holding %s reaches a blocking operation (%s → %s) — move it after the unlock or document why with //lint:ignore lockhold",
+						callee.Name(), r.path, callee.Name(), reason)
+				}
 			}
 		}
 		return true

@@ -1,0 +1,93 @@
+package perfgate
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strings"
+)
+
+// skewMarkers identify a toolchain that rejects the debug flags we pass
+// — a skip condition, not a build failure.
+var skewMarkers = []string{
+	"unknown debug key",
+	"invalid value",
+	"flag provided but not defined",
+	"unrecognized debug flag",
+}
+
+// Collect runs `go build -gcflags='-m -d=ssa/check_bce' patterns...` at
+// root and returns the combined diagnostic output. A build that fails
+// because the toolchain rejects the flags returns a skew reason; any
+// other failure is a genuine error (the tree does not compile).
+func Collect(goTool, root string, patterns []string) (out string, skew string, err error) {
+	if goTool == "" {
+		goTool = "go"
+	}
+	args := append([]string{"build", "-gcflags=" + GCFlags}, patterns...)
+	cmd := exec.Command(goTool, args...)
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+	out = buf.String()
+	if runErr != nil {
+		for _, marker := range skewMarkers {
+			if strings.Contains(out, marker) {
+				return "", fmt.Sprintf("toolchain rejected %q: %v", GCFlags, runErr), nil
+			}
+		}
+		return "", "", fmt.Errorf("go build %s: %v\n%s", strings.Join(patterns, " "), runErr, out)
+	}
+	return out, "", nil
+}
+
+// Run executes the whole gate: compile, scan annotations, load the
+// manifest, evaluate. A missing manifest is a problem (the gate cannot
+// pass vacuously once annotations exist), while toolchain skew is a
+// skip.
+func Run(goTool, root, manifestPath string, patterns []string) (*Result, error) {
+	spans, err := ScanAnnotations(root)
+	if err != nil {
+		return nil, err
+	}
+	out, skew, err := Collect(goTool, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if skew != "" {
+		return &Result{SkipReason: skew}, nil
+	}
+	committed, err := LoadManifest(manifestPath)
+	if err != nil {
+		if len(spans) == 0 {
+			return &Result{}, nil
+		}
+		return &Result{Problems: []Problem{{
+			Msg: fmt.Sprintf("cannot load perf-facts manifest: %v; run fexlint -write-perf-facts", err),
+		}}}, nil
+	}
+	return Evaluate(out, spans, committed), nil
+}
+
+// Write regenerates the manifest from the current tree — the
+// -write-perf-facts path. Toolchain skew is an error here: facts cannot
+// be recorded from output we cannot parse.
+func Write(goTool, root, manifestPath string, patterns []string) (*Manifest, error) {
+	spans, err := ScanAnnotations(root)
+	if err != nil {
+		return nil, err
+	}
+	out, skew, err := Collect(goTool, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if skew == "" {
+		var m *Manifest
+		if m, skew = CurrentManifest(out, spans); skew == "" {
+			return m, SaveManifest(manifestPath, m)
+		}
+	}
+	return nil, fmt.Errorf("cannot record perf facts: %s", skew)
+}

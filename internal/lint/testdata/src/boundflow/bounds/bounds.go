@@ -1,0 +1,16 @@
+// Package bounds exports annotated bound combinators for the boundflow
+// fixture's cross-package leg: the //fex:bound directive on LengthBound
+// becomes a bound-fn fact, so callers in ANY package inherit the taint.
+package bounds
+
+// LengthBound is the Cauchy–Schwarz cap ‖q‖‖p‖ >= q·p.
+//
+//fex:bound
+func LengthBound(qNorm, pNorm float64) float64 {
+	return qNorm * pNorm
+}
+
+// Halve is exact arithmetic, not a bound: results stay clean.
+func Halve(x float64) float64 {
+	return x * 0.5
+}

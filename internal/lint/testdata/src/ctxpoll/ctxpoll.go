@@ -5,7 +5,11 @@
 // stays self-contained.
 package ctxpoll
 
-import "context"
+import (
+	"context"
+
+	"fexipro/internal/lint/testdata/src/ctxpoll/pollee"
+)
 
 // Collector mimics topk.Collector.
 type Collector struct{ n int }
@@ -151,6 +155,51 @@ func (k kern) Scan(ctx context.Context, shard int, c *Collector) error {
 		out = append(out, Result{ID: i})
 	}
 	_ = out
+	return nil
+}
+
+// pollHelper polls at entry; calling it counts as one poll.
+func pollHelper(ctx context.Context) error { return ctx.Err() }
+
+// pollChain is an entry poller only transitively: its entry poll is a
+// call to pollHelper, resolved by the same-unit fixpoint.
+func pollChain(ctx context.Context) error { return pollHelper(ctx) }
+
+// Interproc exercises the interprocedural upgrade: polls may live
+// behind same-unit helpers or cross-package callees.
+type Interproc struct{ s *Scanner }
+
+func (p *Interproc) SearchContext(ctx context.Context, q []float64, k int) []Result {
+	c := &Collector{}
+	// Clean: pollHelper is a same-unit entry poller.
+	for i := range p.s.items {
+		if err := pollHelper(ctx); err != nil {
+			return nil
+		}
+		c.Push(i, 0)
+	}
+	// Clean: pollChain reaches a poll through another helper.
+	for i := range p.s.items {
+		if err := pollChain(ctx); err != nil {
+			return nil
+		}
+		c.Push(i, 0)
+	}
+	// Clean, but only the module phase can tell: pollee.EntryPoll lives
+	// in another package, so the unit pass defers via a pending fact and
+	// the entrypoll fact exported by pollee resolves it.
+	for i := range p.s.items {
+		if err := pollee.EntryPoll(ctx, i); err != nil {
+			return nil
+		}
+		c.Push(i, 0)
+	}
+	// Flagged in the module phase: the only cross-package callee never
+	// polls, so the pending loop is condemned with the callee list.
+	for i := range p.s.items { // want `scan loop reachable from SearchContext cannot be cancelled.*NoPoll`
+		pollee.NoPoll(i)
+		c.Push(i, 0)
+	}
 	return nil
 }
 

@@ -1,0 +1,21 @@
+// Package pollee is the cross-package half of the ctxpoll fixture: it
+// declares one function that polls cancellation at entry (published as
+// an "entrypoll" fact for the module phase) and one that does not.
+package pollee
+
+import "context"
+
+// EntryPoll checks cancellation before doing any work — callers may
+// treat one call as one poll.
+func EntryPoll(ctx context.Context, i int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	use(i)
+	return nil
+}
+
+// NoPoll never checks cancellation.
+func NoPoll(i int) { use(i) }
+
+func use(int) {}

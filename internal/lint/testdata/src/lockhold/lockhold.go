@@ -80,6 +80,34 @@ func (s *S) fnHeld(fn func()) {
 	fn() // want `call through function value fn .unbounded hold time. while holding s.mu`
 }
 
+// sleepy blocks directly; relay blocks only transitively. The fixpoint
+// summarizes both, and a held-region call to relay names the chain.
+func sleepy() { time.Sleep(time.Millisecond) }
+
+func relay() { sleepy() }
+
+func (s *S) transitiveHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	relay() // want `call to relay while holding s.mu reaches a blocking operation .relay → sleepy → time.Sleep.`
+}
+
+// lockedHelper takes its own lock but never blocks: mutex operations
+// are not part of the callee summary, so calling it under s.mu is fine.
+func (s *S) lockedHelper() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+}
+
+func pure() {}
+
+func (s *S) cleanHelpersHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockedHelper()
+	pure()
+}
+
 // afterUnlock: the held region ends at the unlock, so nothing after it
 // is flagged.
 func (s *S) afterUnlock() {

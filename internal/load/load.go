@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"fexipro/internal/obs"
 )
 
 // Schema identifies the Report wire format.
@@ -176,9 +178,14 @@ type SLOResult struct {
 
 // Report is the -slojson output: the fexload/v1 schema.
 type Report struct {
-	Schema   string   `json:"schema"`
-	Target   string   `json:"target"`
-	Workload Workload `json:"workload"`
+	Schema string `json:"schema"`
+	// GoVersion and GCFlags identify the toolchain the generator was
+	// built with (obs.Toolchain), so latency-trajectory diffs between
+	// runs are attributable to compiler changes, not just code.
+	GoVersion string   `json:"goVersion,omitempty"`
+	GCFlags   string   `json:"gcflags,omitempty"`
+	Target    string   `json:"target"`
+	Workload  Workload `json:"workload"`
 
 	// Sent is every scheduled arrival that was dispatched; Shed counts
 	// arrivals dropped at the client by MaxInFlight; Errors counts
@@ -471,9 +478,12 @@ func buildReport(cfg *Config, tl *tally, sent, shed int, elapsed time.Duration) 
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 
+	goVersion, gcflags := obs.Toolchain()
 	r := &Report{
-		Schema: Schema,
-		Target: cfg.Target,
+		Schema:    Schema,
+		GoVersion: goVersion,
+		GCFlags:   gcflags,
+		Target:    cfg.Target,
 		Workload: Workload{
 			Rate:         cfg.Rate,
 			DurationMs:   ms(cfg.Duration),

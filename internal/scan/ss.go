@@ -116,7 +116,8 @@ func (s *SS) scanRange(ctx context.Context, hook *faults.Hook, qs *ssQuery, lo, 
 			}
 		}
 		t := shared.Floor(c.Threshold())
-		if qs.qNorm*s.norms[i] < t {
+		lenBound := qs.qNorm * s.norms[i] //fex:bound
+		if lenBound < t {
 			// Everything after i has a smaller length: terminate this range.
 			stats.PrunedByLength += hi - i
 			return nil
@@ -144,7 +145,8 @@ func (s *SS) coordinateScan(qs *ssQuery, p []float64, pTail, t float64, stats *s
 		return vec.Dot(q, p), true
 	}
 	v := vec.DotRange(q, p, 0, s.w)
-	if v+qs.qTail*pTail < t {
+	ub := v + qs.qTail*pTail //fex:bound
+	if ub < t {
 		stats.PrunedByIncremental++
 		return 0, false
 	}

@@ -193,7 +193,7 @@ func (s *SSL) scanRange(ctx context.Context, hook *faults.Hook, qs *sslQuery, lo
 			}
 		}
 		t := shared.Floor(c.Threshold())
-		lenBound := qs.qNorm * s.norms[i]
+		lenBound := qs.qNorm * s.norms[i] //fex:bound
 		if lenBound < t {
 			stats.PrunedByLength += hi - i
 			return nil

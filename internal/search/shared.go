@@ -72,6 +72,8 @@ func (s *SharedThreshold) Load() float64 {
 // shared one. Scan loops call this once per pruning decision cluster
 // (not per item) so the atomic load stays off the innermost hot path.
 // A nil receiver returns local unchanged.
+//
+//fex:inline
 func (s *SharedThreshold) Floor(local float64) float64 {
 	if s == nil {
 		return local

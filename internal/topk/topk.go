@@ -34,6 +34,12 @@ type Result struct {
 type Collector struct {
 	k     int
 	items []Result // min-heap: root is the canonically worst retained item
+	// floor caches the fast-reject cutoff for Push: -Inf while the heap
+	// has room (nothing can be rejected), the root score once it is
+	// full, +Inf for k == 0. A candidate scoring strictly below floor
+	// cannot enter; ties go through pushSlow for the canonical ID
+	// comparison.
+	floor float64
 }
 
 // worse reports whether a ranks strictly below b in the canonical order
@@ -54,7 +60,17 @@ func New(k int) *Collector {
 	if k < 0 {
 		panic("topk: negative k")
 	}
-	return &Collector{k: k, items: make([]Result, 0, k)}
+	return &Collector{k: k, items: make([]Result, 0, k), floor: emptyFloor(k)}
+}
+
+// emptyFloor is the fast-reject cutoff of an empty collector: +Inf for
+// k == 0 (everything rejected), -Inf otherwise (nothing rejected until
+// the heap fills).
+func emptyFloor(k int) float64 {
+	if k == 0 {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
 }
 
 // K returns the collector's capacity.
@@ -65,7 +81,10 @@ func (c *Collector) Len() int { return len(c.items) }
 
 // Threshold returns the current pruning threshold t: the smallest score
 // in the heap once it is full, -Inf while it is not (so nothing is pruned
-// until k candidates have been scored), and +Inf for k == 0.
+// until k candidates have been scored), and +Inf for k == 0. Scan loops
+// read it once per item, so it must stay inlinable.
+//
+//fex:inline
 func (c *Collector) Threshold() float64 {
 	if c.k == 0 {
 		return math.Inf(1)
@@ -83,7 +102,25 @@ func (c *Collector) Threshold() float64 {
 // candidate that exactly ties the threshold score displaces the root
 // only when its ID is smaller, keeping the retained set scan-order
 // independent.
+//
+// Push itself is only the fast reject — the overwhelmingly common
+// outcome once the heap is full mid-scan — and must stay cheap enough
+// to inline into the scan kernels; the heap restructuring lives in
+// pushSlow.
+//
+//fex:inline
 func (c *Collector) Push(id int, score float64) bool {
+	if score < c.floor {
+		return false
+	}
+	return c.pushSlow(id, score)
+}
+
+// pushSlow handles every candidate the floor compare could not reject:
+// the heap still has room, the candidate beats the floor, or it ties
+// the floor score exactly and the canonical ID comparison decides. NaN
+// scores land here too and lose to everything under worse.
+func (c *Collector) pushSlow(id int, score float64) bool {
 	if c.k == 0 {
 		return false
 	}
@@ -91,6 +128,9 @@ func (c *Collector) Push(id int, score float64) bool {
 	if len(c.items) < c.k {
 		c.items = append(c.items, cand)
 		c.siftUp(len(c.items) - 1)
+		if len(c.items) == c.k {
+			c.floor = c.items[0].Score
+		}
 		return true
 	}
 	if !worse(c.items[0], cand) {
@@ -98,6 +138,7 @@ func (c *Collector) Push(id int, score float64) bool {
 	}
 	c.items[0] = cand
 	c.siftDown(0)
+	c.floor = c.items[0].Score
 	return true
 }
 
@@ -126,7 +167,10 @@ func SortResults(rs []Result) {
 }
 
 // Reset empties the collector, keeping its capacity.
-func (c *Collector) Reset() { c.items = c.items[:0] }
+func (c *Collector) Reset() {
+	c.items = c.items[:0]
+	c.floor = emptyFloor(c.k)
+}
 
 func (c *Collector) siftUp(i int) {
 	for i > 0 {

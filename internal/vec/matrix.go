@@ -41,7 +41,10 @@ func FromRows(rows [][]float64) *Matrix {
 	return m
 }
 
-// Row returns row i as a slice aliasing the matrix storage.
+// Row returns row i as a slice aliasing the matrix storage. Scan
+// kernels call it once per item, so it must stay inlinable.
+//
+//fex:inline
 func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
