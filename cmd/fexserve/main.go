@@ -6,6 +6,7 @@
 //	fexserve -dim 50 -addr :8080          # start with an empty catalog
 //	fexserve -dim 50 -log-format json -pprof
 //	fexserve -items data/items.fxp -shards 8 -search-workers 4
+//	fexserve -dim 50 -data-dir /var/lib/fexipro -checkpoint-every 1000
 //
 // API (JSON):
 //
@@ -50,6 +51,18 @@
 // global top-k (DESIGN.md §11). Per-shard scan wall time is exported
 // as fexipro_shard_scan_seconds, labeled by shard index.
 //
+// Persistence: -data-dir enables the fexsnap/v1 snapshot + WAL pipeline
+// (DESIGN.md §15). Boot loads <dir>/current.snap and replays
+// <dir>/dyn.wal — fexipro_snapshot_load_seconds on /metrics shows the
+// load replacing the O(n·d²) build — and every acknowledged mutation is
+// appended to the WAL before the HTTP response is sent.
+// -checkpoint-every N snapshots and truncates the WAL every N
+// mutations; SIGTERM always checkpoints after draining, so a restart
+// replays nothing and loses nothing. -wal-sync-every batches fsyncs.
+// SIGHUP reloads the -items factor file with zero read downtime: the
+// replacement index builds in the background and swaps atomically
+// (mutations are answered 503 "reloading" during the build).
+//
 // Every request is logged as one structured line (text or JSON via
 // -log-format) with a trace ID, latency, and search stage counters.
 // SIGINT/SIGTERM flip /readyz to 503, drain in-flight requests, and log
@@ -62,6 +75,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -97,6 +111,10 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 64, "in-flight /v1/ request limit; excess is shed with 429 (0 disables)")
 		partial       = flag.Bool("partial", false, "answer deadline expiry with 200 + best-so-far results flagged exact:false instead of 504")
 		maxK          = flag.Int("max-k", 0, "cap on per-request k to bound response sizes (0 = server default, 1000)")
+
+		dataDir         = flag.String("data-dir", "", "persistence directory (DESIGN.md §15): boot loads current.snap + dyn.wal instead of rebuilding, every acknowledged mutation is write-ahead logged, SIGTERM checkpoints before exit")
+		checkpointEvery = flag.Int("checkpoint-every", 0, "with -data-dir, write a fresh snapshot and truncate the WAL after this many acknowledged mutations (0 = only on shutdown/reload)")
+		walSyncEvery    = flag.Int("wal-sync-every", 1, "with -data-dir, fsync the WAL every Nth append; >1 trades a bounded crash-loss window for mutation throughput")
 
 		trace       = flag.Bool("trace", false, "collect a per-query span tree (transform, per-shard scans, merge, rebuilds) for every /v1/ request, served at GET /debug/queries (DESIGN.md §13)")
 		slowQueryMs = flag.Float64("slow-query-ms", 0, "with -trace, only queries at least this slow enter the /debug/queries ring (0 records every traced query)")
@@ -148,6 +166,9 @@ func main() {
 		MaxK:              *maxK,
 		Shards:            *shards,
 		SearchWorkers:     *searchWorkers,
+		DataDir:           *dataDir,
+		CheckpointEvery:   *checkpointEvery,
+		WALSyncEvery:      *walSyncEvery,
 		Trace:             *trace,
 		SlowQuery:         time.Duration(*slowQueryMs * float64(time.Millisecond)),
 		TraceRingSize:     *traceRing,
@@ -173,30 +194,73 @@ func main() {
 		"trace", *trace, "slowQueryMs", *slowQueryMs)
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	// Graceful shutdown: trap SIGINT/SIGTERM, drain in-flight requests.
+	// Listen before starting the signal loop so the bound address — which
+	// differs from -addr when the port is 0 — is in the log for clients
+	// (the restart e2e test starts on :0 and scrapes this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, "listen", err)
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	// Signal loop: SIGHUP reloads the item catalog from -items with zero
+	// read downtime (the replacement index builds in the background and
+	// swaps atomically); SIGINT/SIGTERM flip /readyz to 503, drain
+	// in-flight requests, then checkpoint and close the WAL so no
+	// acknowledged mutation outlives the process un-persisted.
 	idle := make(chan struct{})
 	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-		got := <-sig
-		logger.Info("shutdown", "signal", got.String(), "drainTimeout", shutdownTimeout.String())
-		srv.SetReady(false) // /readyz → 503 so load balancers stop routing here
-		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			logger.Error("shutdown drain failed", "err", err)
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+		for got := range sig {
+			if got == syscall.SIGHUP {
+				if *itemsPath == "" {
+					logger.Warn("reload requested but no -items file to reload from")
+					continue
+				}
+				go func() {
+					m, err := data.LoadMatrix(*itemsPath)
+					if err != nil {
+						logger.Error("reload load failed", "err", err)
+						return
+					}
+					start := time.Now()
+					if err := srv.Reload(m, opts); err != nil {
+						logger.Error("reload failed", "err", err)
+						return
+					}
+					logger.Info("reload complete", "items", m.Rows,
+						"buildMillis", time.Since(start).Milliseconds())
+				}()
+				continue
+			}
+			logger.Info("shutdown", "signal", got.String(), "drainTimeout", shutdownTimeout.String())
+			srv.SetReady(false) // /readyz → 503 so load balancers stop routing here
+			ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				logger.Error("shutdown drain failed", "err", err)
+			}
+			cancel()
+			if *dataDir != "" {
+				if err := srv.Checkpoint(); err != nil {
+					logger.Error("shutdown checkpoint failed", "err", err)
+				}
+				if err := srv.ClosePersistence(); err != nil {
+					logger.Error("wal close failed", "err", err)
+				}
+			}
+			break
 		}
 		close(idle)
 	}()
 
-	err = httpSrv.ListenAndServe()
+	err = httpSrv.Serve(ln)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(logger, "listen", err)
+		fatal(logger, "serve", err)
 	}
 	<-idle
 	logFinalSnapshot(logger, reg)

@@ -1,0 +1,169 @@
+package balltree
+
+import (
+	"fmt"
+	"io"
+
+	"fexipro/internal/snap"
+	"fexipro/internal/vec"
+)
+
+// BallTree persistence (fexsnap/v1, DESIGN.md §15): the item matrix and
+// the finished tree structure are stored, so Load rebuilds a tree whose
+// descent order, bounds, and stats are bit-identical to the saved one —
+// no re-running the randomized two-pivot splits.
+
+const (
+	secBTMeta  = "bt.meta"  // leafSize, rows, cols
+	secBTItems = "bt.items" // item matrix
+	secBTTree  = "bt.tree"  // preorder node encoding
+)
+
+// maxTreeDepth caps recursion when decoding a persisted tree: a real
+// tree's depth is bounded by its item count (every split is proper),
+// so anything deeper is corruption, caught before the stack overflows.
+const maxTreeDepth = 1 << 14
+
+// Items returns the item matrix the tree searches over (not a copy; do
+// not mutate).
+func (t *Tree) Items() *vec.Matrix { return t.items }
+
+// LeafSize returns the leaf capacity the tree was built with.
+func (t *Tree) LeafSize() int { return t.leafSize }
+
+// NewKernelFromTree wraps an already-built (typically loaded) tree as a
+// single-shard engine kernel, so a deserialized tree serves queries
+// directly with no rebuild. Multi-shard kernels re-partition the item
+// matrix, so they are built with NewKernel(t.Items(), ...).
+func NewKernelFromTree(t *Tree) *Kernel {
+	return &Kernel{trees: []*Tree{t}, starts: []int{0}, dim: t.items.Cols}
+}
+
+// Save writes the tree as a fexsnap/v1 container.
+func (t *Tree) Save(w io.Writer) error {
+	var b snap.Builder
+	b.Section(secBTMeta, func(e *snap.Encoder) {
+		e.I64(int64(t.leafSize))
+		e.I64(int64(t.items.Rows))
+		e.I64(int64(t.items.Cols))
+	})
+	b.Section(secBTItems, func(e *snap.Encoder) { e.Matrix(t.items) })
+	b.Section(secBTTree, func(e *snap.Encoder) { encodeNode(e, t.root) })
+	return b.Flush(w)
+}
+
+// encodeNode emits a preorder encoding: presence, centroid, radius,
+// then either the leaf IDs or both children. Leaves are marked by a
+// bool, matching build's invariant that internal nodes have both
+// children.
+func encodeNode(e *snap.Encoder, n *node) {
+	e.Bool(n != nil)
+	if n == nil {
+		return
+	}
+	e.Floats(n.centroid)
+	e.F64(n.radius)
+	e.Bool(n.ids != nil)
+	if n.ids != nil {
+		e.Ints(n.ids)
+		return
+	}
+	encodeNode(e, n.left)
+	encodeNode(e, n.right)
+}
+
+// Load reads a tree written by Save. Every error wraps one of the snap
+// sentinels.
+func Load(r io.Reader) (*Tree, error) {
+	f, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("balltree: reading tree: %w", err)
+	}
+	payload, ok := f.Section(secBTMeta)
+	if !ok {
+		return nil, fmt.Errorf("%w: BallTree snapshot missing section %q", snap.ErrChecksum, secBTMeta)
+	}
+	d := snap.NewDecoder(payload)
+	leafSize := int(d.I64())
+	rows := int(d.I64())
+	cols := int(d.I64())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("balltree: meta section: %w", err)
+	}
+	if leafSize < 1 || rows < 0 || cols < 1 {
+		return nil, fmt.Errorf("%w: BallTree meta leafSize=%d shape %d×%d", snap.ErrChecksum, leafSize, rows, cols)
+	}
+
+	payload, ok = f.Section(secBTItems)
+	if !ok {
+		return nil, fmt.Errorf("%w: BallTree snapshot missing section %q", snap.ErrChecksum, secBTItems)
+	}
+	d = snap.NewDecoder(payload)
+	items := d.Matrix()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("balltree: items section: %w", err)
+	}
+	if items == nil || items.Rows != rows || items.Cols != cols {
+		return nil, fmt.Errorf("%w: BallTree item matrix disagrees with meta", snap.ErrChecksum)
+	}
+
+	payload, ok = f.Section(secBTTree)
+	if !ok {
+		return nil, fmt.Errorf("%w: BallTree snapshot missing section %q", snap.ErrChecksum, secBTTree)
+	}
+	d = snap.NewDecoder(payload)
+	root, err := decodeNode(d, cols, rows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("balltree: tree section: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("balltree: tree section: %w", err)
+	}
+	if (root == nil) != (rows == 0) {
+		return nil, fmt.Errorf("%w: BallTree root disagrees with item count", snap.ErrChecksum)
+	}
+	return &Tree{items: items, root: root, leafSize: leafSize}, nil
+}
+
+func decodeNode(d *snap.Decoder, dim, rows, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("%w: BallTree deeper than %d", snap.ErrChecksum, maxTreeDepth)
+	}
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	n := &node{centroid: d.Floats(), radius: d.F64()}
+	isLeaf := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(n.centroid) != dim {
+		return nil, fmt.Errorf("%w: BallTree centroid has %d dims, want %d", snap.ErrChecksum, len(n.centroid), dim)
+	}
+	if isLeaf {
+		n.ids = d.Ints()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(n.ids) == 0 {
+			return nil, fmt.Errorf("%w: BallTree leaf with no items", snap.ErrChecksum)
+		}
+		for _, id := range n.ids {
+			if id < 0 || id >= rows {
+				return nil, fmt.Errorf("%w: BallTree leaf ID %d outside [0, %d)", snap.ErrChecksum, id, rows)
+			}
+		}
+		return n, nil
+	}
+	var err error
+	if n.left, err = decodeNode(d, dim, rows, depth+1); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeNode(d, dim, rows, depth+1); err != nil {
+		return nil, err
+	}
+	if n.left == nil || n.right == nil {
+		return nil, fmt.Errorf("%w: BallTree internal node missing a child", snap.ErrChecksum)
+	}
+	return n, nil
+}

@@ -1,289 +1,185 @@
 package core
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
+	"fexipro/internal/snap"
 	"fexipro/internal/svd"
-	"fexipro/internal/vec"
 )
 
 // Index persistence: preprocessing costs O(n·d²) (thin SVD plus derived
 // arrays), so a deployed service wants to preprocess once and load the
-// finished index at startup. The format ("FXI2") is a versioned,
-// little-endian dump of every Index field; Load rebuilds an Index that
-// answers queries identically to the one that was saved.
+// finished index at startup. Indexes are written as fexsnap/v1
+// containers (internal/snap, DESIGN.md §15): one checksummed section
+// per component, so a damaged file fails with a typed error instead of
+// loading a silently wrong index, and unknown sections from newer
+// writers are skipped. Load rebuilds an Index that answers queries
+// bit-identically to the one that was saved.
 
-const indexMagic = "FXI2"
+// Section tags of a core.Index snapshot.
+const (
+	secIdxMeta = "idx.meta" // Options + n/d/w
+	secIdxPerm = "idx.perm" // norm-descending permutation
+	secIdxNorm = "idx.norm" // item norms (permuted order)
+	secIdxRows = "idx.rows" // transformed item matrix (bar)
+	secIdxTail = "idx.tail" // per-item tail norms
+	secIdxSVD  = "idx.svd"  // thin SVD basis (optional)
+	secIdxInts = "idx.ints" // scaled-integer tables (optional)
+	secIdxRed  = "idx.red"  // monotone reduction data (optional)
+)
 
-type binWriter struct {
-	w   *bufio.Writer
-	err error
+// Save writes the index as a fexsnap/v1 container.
+func (idx *Index) Save(w io.Writer) error {
+	var b snap.Builder
+	b.Section(secIdxMeta, func(e *snap.Encoder) {
+		encodeOptions(e, idx.opts)
+		e.I64(int64(idx.n))
+		e.I64(int64(idx.d))
+		e.I64(int64(idx.w))
+	})
+	b.Section(secIdxPerm, func(e *snap.Encoder) { e.Ints(idx.perm) })
+	b.Section(secIdxNorm, func(e *snap.Encoder) { e.Floats(idx.norms) })
+	b.Section(secIdxRows, func(e *snap.Encoder) { e.Matrix(idx.bar) })
+	b.Section(secIdxTail, func(e *snap.Encoder) { e.Floats(idx.barTail) })
+	if idx.thin != nil {
+		b.Section(secIdxSVD, func(e *snap.Encoder) {
+			e.Matrix(idx.thin.U)
+			e.Floats(idx.thin.Sigma)
+		})
+	}
+	if id := idx.ints; id != nil {
+		b.Section(secIdxInts, func(e *snap.Encoder) {
+			e.F64(id.e)
+			e.F64(id.maxHead)
+			e.F64(id.maxTail)
+			e.F64(id.headScale)
+			e.F64(id.tailScale)
+			e.Bool(id.floors16 != nil)
+			if id.floors16 != nil {
+				e.Int16s(id.floors16)
+			} else {
+				e.Int32s(id.floors)
+			}
+			e.Int64s(id.sumAbsHead)
+			e.Int64s(id.sumAbsTail)
+		})
+	}
+	if rd := idx.red; rd != nil {
+		b.Section(secIdxRed, func(e *snap.Encoder) {
+			e.Floats(rd.c)
+			e.F64(rd.b)
+			e.F64(rd.sumC2)
+			e.Floats(rd.headConstP)
+			e.Floats(rd.hhTail)
+		})
+	}
+	return b.Flush(w)
 }
 
-func (b *binWriter) raw(p []byte) {
-	if b.err != nil {
-		return
-	}
-	_, b.err = b.w.Write(p)
-}
-
-func (b *binWriter) u64(v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	b.raw(buf[:])
-}
-
-func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
-func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
-func (b *binWriter) bool(v bool)   { b.u64(boolToU64(v)) }
-func (b *binWriter) floats(v []float64) {
-	b.i64(int64(len(v)))
-	for _, x := range v {
-		b.f64(x)
-	}
-}
-func (b *binWriter) ints(v []int) {
-	b.i64(int64(len(v)))
-	for _, x := range v {
-		b.i64(int64(x))
-	}
-}
-func (b *binWriter) int64s(v []int64) {
-	b.i64(int64(len(v)))
-	for _, x := range v {
-		b.i64(x)
-	}
-}
-func (b *binWriter) matrix(m *vec.Matrix) {
-	if m == nil {
-		b.i64(-1)
-		return
-	}
-	b.i64(int64(m.Rows))
-	b.i64(int64(m.Cols))
-	for _, x := range m.Data {
-		b.f64(x)
-	}
-}
-
-func boolToU64(v bool) uint64 {
-	if v {
-		return 1
-	}
-	return 0
-}
-
-type binReader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (b *binReader) raw(p []byte) {
-	if b.err != nil {
-		return
-	}
-	_, b.err = io.ReadFull(b.r, p)
-}
-
-func (b *binReader) u64() uint64 {
-	var buf [8]byte
-	b.raw(buf[:])
-	return binary.LittleEndian.Uint64(buf[:])
-}
-
-func (b *binReader) i64() int64   { return int64(b.u64()) }
-func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
-func (b *binReader) bool() bool   { return b.u64() != 0 }
-
-// length reads a slice length and validates it against a sane ceiling so
-// corrupted files fail cleanly instead of OOMing.
-func (b *binReader) length() int {
-	n := b.i64()
-	const maxLen = 1 << 31
-	if n < -1 || n > maxLen {
-		if b.err == nil {
-			b.err = fmt.Errorf("core: implausible length %d in index file", n)
-		}
-		return 0
-	}
-	return int(n)
-}
-
-func (b *binReader) floats() []float64 {
-	n := b.length()
-	if b.err != nil || n < 0 {
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = b.f64()
-	}
-	return out
-}
-
-func (b *binReader) intsSlice() []int {
-	n := b.length()
-	if b.err != nil {
-		return nil
-	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = int(b.i64())
-	}
-	return out
-}
-
-func (b *binReader) int64s() []int64 {
-	n := b.length()
-	if b.err != nil {
-		return nil
-	}
-	out := make([]int64, n)
-	for i := range out {
-		out[i] = b.i64()
-	}
-	return out
-}
-
-func (b *binReader) matrix() *vec.Matrix {
-	rows := b.i64()
-	if rows == -1 || b.err != nil {
-		return nil
-	}
-	cols := b.i64()
-	if b.err != nil {
-		return nil
-	}
-	if rows < 0 || cols < 0 || (cols > 0 && rows > (1<<33)/cols) {
-		b.err = fmt.Errorf("core: implausible matrix shape %d×%d in index file", rows, cols)
-		return nil
-	}
-	m := vec.NewMatrix(int(rows), int(cols))
-	for i := range m.Data {
-		m.Data[i] = b.f64()
-	}
-	return m
-}
-
-// WriteTo serializes the index. It returns the number of bytes written.
+// WriteTo serializes the index (fexsnap/v1) and returns the number of
+// bytes written. It is Save with byte accounting, kept for the public
+// SaveIndex API.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	bw := &binWriter{w: bufio.NewWriter(cw)}
-	bw.raw([]byte(indexMagic))
-
-	o := idx.opts
-	bw.bool(o.SVD)
-	bw.bool(o.Int)
-	bw.bool(o.Reduction)
-	bw.f64(o.Rho)
-	bw.f64(o.E)
-	bw.i64(int64(o.W))
-	bw.f64(o.PruneSlack)
-	bw.f64(o.RankTol)
-	bw.bool(o.GlobalIntScaling)
-	bw.bool(o.ReductionFirst)
-	bw.bool(o.Unsorted)
-	bw.bool(o.CompactInts)
-
-	bw.i64(int64(idx.n))
-	bw.i64(int64(idx.d))
-	bw.i64(int64(idx.w))
-	bw.ints(idx.perm)
-	bw.floats(idx.norms)
-	bw.matrix(idx.bar)
-	bw.floats(idx.barTail)
-
-	if idx.thin != nil {
-		bw.bool(true)
-		bw.matrix(idx.thin.U)
-		bw.floats(idx.thin.Sigma)
-	} else {
-		bw.bool(false)
-	}
-
-	if id := idx.ints; id != nil {
-		bw.bool(true)
-		bw.f64(id.e)
-		bw.f64(id.maxHead)
-		bw.f64(id.maxTail)
-		bw.f64(id.headScale)
-		bw.f64(id.tailScale)
-		bw.bool(id.floors16 != nil)
-		if id.floors16 != nil {
-			bw.i64(int64(len(id.floors16)))
-			for _, f := range id.floors16 {
-				bw.i64(int64(f))
-			}
-		} else {
-			bw.i64(int64(len(id.floors)))
-			for _, f := range id.floors {
-				bw.i64(int64(f))
-			}
-		}
-		bw.int64s(id.sumAbsHead)
-		bw.int64s(id.sumAbsTail)
-	} else {
-		bw.bool(false)
-	}
-
-	if rd := idx.red; rd != nil {
-		bw.bool(true)
-		bw.floats(rd.c)
-		bw.f64(rd.b)
-		bw.f64(rd.sumC2)
-		bw.floats(rd.headConstP)
-		bw.floats(rd.hhTail)
-	} else {
-		bw.bool(false)
-	}
-
-	if bw.err == nil {
-		bw.err = bw.w.Flush()
-	}
-	return cw.n, bw.err
+	err := idx.Save(cw)
+	return cw.n, err
 }
 
-// ReadIndex deserializes an index written by WriteTo.
-func ReadIndex(r io.Reader) (*Index, error) {
-	br := &binReader{r: bufio.NewReader(r)}
-	magic := make([]byte, 4)
-	br.raw(magic)
-	if br.err != nil {
-		return nil, fmt.Errorf("core: reading index magic: %w", br.err)
-	}
-	if string(magic) != indexMagic {
-		return nil, fmt.Errorf("core: bad index magic %q, want %q", magic, indexMagic)
-	}
+// encodeOptions and decodeOptions fix the on-disk field order of
+// Options, shared by the static index and DynamicIndex snapshots.
+func encodeOptions(e *snap.Encoder, o Options) {
+	e.Bool(o.SVD)
+	e.Bool(o.Int)
+	e.Bool(o.Reduction)
+	e.F64(o.Rho)
+	e.F64(o.E)
+	e.I64(int64(o.W))
+	e.F64(o.PruneSlack)
+	e.F64(o.RankTol)
+	e.Bool(o.GlobalIntScaling)
+	e.Bool(o.ReductionFirst)
+	e.Bool(o.Unsorted)
+	e.Bool(o.CompactInts)
+}
 
+func decodeOptions(d *snap.Decoder) Options {
 	var o Options
-	o.SVD = br.bool()
-	o.Int = br.bool()
-	o.Reduction = br.bool()
-	o.Rho = br.f64()
-	o.E = br.f64()
-	o.W = int(br.i64())
-	o.PruneSlack = br.f64()
-	o.RankTol = br.f64()
-	o.GlobalIntScaling = br.bool()
-	o.ReductionFirst = br.bool()
-	o.Unsorted = br.bool()
-	o.CompactInts = br.bool()
+	o.SVD = d.Bool()
+	o.Int = d.Bool()
+	o.Reduction = d.Bool()
+	o.Rho = d.F64()
+	o.E = d.F64()
+	o.W = int(d.I64())
+	o.PruneSlack = d.F64()
+	o.RankTol = d.F64()
+	o.GlobalIntScaling = d.Bool()
+	o.ReductionFirst = d.Bool()
+	o.Unsorted = d.Bool()
+	o.CompactInts = d.Bool()
+	return o
+}
 
-	idx := &Index{opts: o}
-	idx.n = int(br.i64())
-	idx.d = int(br.i64())
-	idx.w = int(br.i64())
-	idx.perm = br.intsSlice()
-	idx.norms = br.floats()
-	idx.bar = br.matrix()
-	idx.barTail = br.floats()
+// sectionDecoder returns a Decoder over a mandatory section, or a typed
+// error if the section is absent (a renamed/lost section reads as
+// corruption: the bytes are there, the structure is not).
+func sectionDecoder(f *snap.File, tag string) (*snap.Decoder, error) {
+	payload, ok := f.Section(tag)
+	if !ok {
+		return nil, fmt.Errorf("%w: index snapshot missing section %q", snap.ErrChecksum, tag)
+	}
+	return snap.NewDecoder(payload), nil
+}
 
-	if br.bool() {
-		thin := &svd.Thin{U: br.matrix(), Sigma: br.floats()}
+// ReadIndex deserializes an index written by Save/WriteTo. Every error
+// wraps one of snap.ErrBadMagic, snap.ErrChecksum, snap.ErrTruncated.
+func ReadIndex(r io.Reader) (*Index, error) {
+	f, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	return indexFromSnap(f)
+}
+
+func indexFromSnap(f *snap.File) (*Index, error) {
+	d, err := sectionDecoder(f, secIdxMeta)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{opts: decodeOptions(d)}
+	idx.n = int(d.I64())
+	idx.d = int(d.I64())
+	idx.w = int(d.I64())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("core: index meta: %w", err)
+	}
+
+	simple := []struct {
+		tag string
+		fn  func(d *snap.Decoder)
+	}{
+		{secIdxPerm, func(d *snap.Decoder) { idx.perm = d.Ints() }},
+		{secIdxNorm, func(d *snap.Decoder) { idx.norms = d.Floats() }},
+		{secIdxRows, func(d *snap.Decoder) { idx.bar = d.Matrix() }},
+		{secIdxTail, func(d *snap.Decoder) { idx.barTail = d.Floats() }},
+	}
+	for _, s := range simple {
+		d, err := sectionDecoder(f, s.tag)
+		if err != nil {
+			return nil, err
+		}
+		s.fn(d)
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("core: index section %q: %w", s.tag, err)
+		}
+	}
+
+	if payload, ok := f.Section(secIdxSVD); ok {
+		d := snap.NewDecoder(payload)
+		thin := &svd.Thin{U: d.Matrix(), Sigma: d.Floats()}
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("core: index SVD section: %w", err)
+		}
 		if idx.bar != nil {
 			thin.V1 = idx.bar
 		}
@@ -291,46 +187,41 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		idx.sigma = thin.Sigma
 	}
 
-	if br.bool() {
+	if payload, ok := f.Section(secIdxInts); ok {
+		d := snap.NewDecoder(payload)
 		id := &intData{}
-		id.e = br.f64()
-		id.maxHead = br.f64()
-		id.maxTail = br.f64()
-		id.headScale = br.f64()
-		id.tailScale = br.f64()
-		compact := br.bool()
-		n := br.length()
-		if br.err == nil {
-			if compact {
-				id.floors16 = make([]int16, n)
-				for i := range id.floors16 {
-					id.floors16[i] = int16(br.i64())
-				}
-			} else {
-				id.floors = make([]int32, n)
-				for i := range id.floors {
-					id.floors[i] = int32(br.i64())
-				}
-			}
+		id.e = d.F64()
+		id.maxHead = d.F64()
+		id.maxTail = d.F64()
+		id.headScale = d.F64()
+		id.tailScale = d.F64()
+		if d.Bool() {
+			id.floors16 = d.Int16s()
+		} else {
+			id.floors = d.Int32s()
 		}
-		id.sumAbsHead = br.int64s()
-		id.sumAbsTail = br.int64s()
+		id.sumAbsHead = d.Int64s()
+		id.sumAbsTail = d.Int64s()
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("core: index integer section: %w", err)
+		}
 		idx.ints = id
 	}
 
-	if br.bool() {
+	if payload, ok := f.Section(secIdxRed); ok {
+		d := snap.NewDecoder(payload)
 		rd := &redData{}
-		rd.c = br.floats()
-		rd.b = br.f64()
-		rd.sumC2 = br.f64()
-		rd.headConstP = br.floats()
-		rd.hhTail = br.floats()
+		rd.c = d.Floats()
+		rd.b = d.F64()
+		rd.sumC2 = d.F64()
+		rd.headConstP = d.Floats()
+		rd.hhTail = d.Floats()
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("core: index reduction section: %w", err)
+		}
 		idx.red = rd
 	}
 
-	if br.err != nil {
-		return nil, fmt.Errorf("core: reading index: %w", br.err)
-	}
 	if err := idx.validateLoaded(); err != nil {
 		return nil, err
 	}
@@ -338,31 +229,32 @@ func ReadIndex(r io.Reader) (*Index, error) {
 }
 
 // validateLoaded sanity-checks structural consistency of a deserialized
-// index so a truncated or corrupted file cannot cause panics later.
+// index so a truncated or corrupted file cannot cause panics later. The
+// error wraps snap.ErrChecksum: the container parsed, the content lies.
 func (idx *Index) validateLoaded() error {
 	if idx.n <= 0 || idx.d <= 0 || idx.w < 1 || idx.w > idx.d {
-		return fmt.Errorf("core: loaded index has invalid shape n=%d d=%d w=%d", idx.n, idx.d, idx.w)
+		return fmt.Errorf("%w: loaded index has invalid shape n=%d d=%d w=%d", snap.ErrChecksum, idx.n, idx.d, idx.w)
 	}
 	if idx.bar == nil || idx.bar.Rows != idx.n || idx.bar.Cols != idx.d {
-		return fmt.Errorf("core: loaded index matrix shape mismatch")
+		return fmt.Errorf("%w: loaded index matrix shape mismatch", snap.ErrChecksum)
 	}
 	if len(idx.perm) != idx.n || len(idx.norms) != idx.n || len(idx.barTail) != idx.n {
-		return fmt.Errorf("core: loaded index per-item arrays mismatch n=%d", idx.n)
+		return fmt.Errorf("%w: loaded index per-item arrays mismatch n=%d", snap.ErrChecksum, idx.n)
 	}
 	if idx.opts.SVD && (idx.thin == nil || idx.thin.U == nil || idx.thin.U.Rows != idx.d || len(idx.thin.Sigma) != idx.d) {
-		return fmt.Errorf("core: loaded index missing SVD data")
+		return fmt.Errorf("%w: loaded index missing SVD data", snap.ErrChecksum)
 	}
 	if idx.opts.Int {
 		id := idx.ints
 		if id == nil || (len(id.floors) != idx.n*idx.d && len(id.floors16) != idx.n*idx.d) ||
 			len(id.sumAbsHead) != idx.n || len(id.sumAbsTail) != idx.n {
-			return fmt.Errorf("core: loaded index missing integer data")
+			return fmt.Errorf("%w: loaded index missing integer data", snap.ErrChecksum)
 		}
 	}
 	if idx.opts.Reduction {
 		rd := idx.red
 		if rd == nil || len(rd.c) != idx.d || len(rd.headConstP) != idx.n || len(rd.hhTail) != idx.n {
-			return fmt.Errorf("core: loaded index missing reduction data")
+			return fmt.Errorf("%w: loaded index missing reduction data", snap.ErrChecksum)
 		}
 	}
 	return nil

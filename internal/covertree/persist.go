@@ -1,0 +1,180 @@
+package covertree
+
+import (
+	"fmt"
+	"io"
+
+	"fexipro/internal/snap"
+	"fexipro/internal/vec"
+)
+
+// Cover-tree persistence (fexsnap/v1, DESIGN.md §15): the item matrix
+// and the finished hierarchy are stored, so Load rebuilds a tree whose
+// descent order, bounds, and stats are bit-identical to the saved one —
+// no re-running the greedy k-center construction.
+
+const (
+	secCTMeta  = "ct.meta"  // leafSize, rows, cols
+	secCTItems = "ct.items" // item matrix
+	secCTTree  = "ct.tree"  // preorder node encoding
+)
+
+// maxTreeDepth caps recursion when decoding a persisted hierarchy: real
+// depths are bounded by the geometric radius shrink, so anything deeper
+// is corruption, caught before the stack overflows.
+const maxTreeDepth = 1 << 14
+
+// Items returns the item matrix the tree searches over (not a copy; do
+// not mutate).
+func (t *Tree) Items() *vec.Matrix { return t.items }
+
+// LeafSize returns the leaf capacity the tree was built with.
+func (t *Tree) LeafSize() int { return t.leafSize }
+
+// NewKernelFromTree wraps an already-built (typically loaded) tree as a
+// single-shard engine kernel, so a deserialized tree serves queries
+// directly with no rebuild. Multi-shard kernels re-partition the item
+// matrix, so they are built with NewKernel(t.Items(), ...).
+func NewKernelFromTree(t *Tree) *Kernel {
+	return &Kernel{trees: []*Tree{t}, starts: []int{0}, dim: t.items.Cols}
+}
+
+// Save writes the tree as a fexsnap/v1 container.
+func (t *Tree) Save(w io.Writer) error {
+	var b snap.Builder
+	b.Section(secCTMeta, func(e *snap.Encoder) {
+		e.I64(int64(t.leafSize))
+		e.I64(int64(t.items.Rows))
+		e.I64(int64(t.items.Cols))
+	})
+	b.Section(secCTItems, func(e *snap.Encoder) { e.Matrix(t.items) })
+	b.Section(secCTTree, func(e *snap.Encoder) { encodeNode(e, t.root) })
+	return b.Flush(w)
+}
+
+// encodeNode emits a preorder encoding: presence, representative,
+// bound, size, then either the leaf IDs or the child list.
+func encodeNode(e *snap.Encoder, n *node) {
+	e.Bool(n != nil)
+	if n == nil {
+		return
+	}
+	e.I64(int64(n.id))
+	e.F64(n.maxDescDist)
+	e.I64(int64(n.size))
+	e.Bool(n.leafIDs != nil)
+	if n.leafIDs != nil {
+		e.Ints(n.leafIDs)
+		return
+	}
+	e.I64(int64(len(n.children)))
+	for _, c := range n.children {
+		encodeNode(e, c)
+	}
+}
+
+// Load reads a tree written by Save. Every error wraps one of the snap
+// sentinels.
+func Load(r io.Reader) (*Tree, error) {
+	f, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("covertree: reading tree: %w", err)
+	}
+	payload, ok := f.Section(secCTMeta)
+	if !ok {
+		return nil, fmt.Errorf("%w: cover-tree snapshot missing section %q", snap.ErrChecksum, secCTMeta)
+	}
+	d := snap.NewDecoder(payload)
+	leafSize := int(d.I64())
+	rows := int(d.I64())
+	cols := int(d.I64())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("covertree: meta section: %w", err)
+	}
+	if leafSize < 1 || rows < 0 || cols < 1 {
+		return nil, fmt.Errorf("%w: cover-tree meta leafSize=%d shape %d×%d", snap.ErrChecksum, leafSize, rows, cols)
+	}
+
+	payload, ok = f.Section(secCTItems)
+	if !ok {
+		return nil, fmt.Errorf("%w: cover-tree snapshot missing section %q", snap.ErrChecksum, secCTItems)
+	}
+	d = snap.NewDecoder(payload)
+	items := d.Matrix()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("covertree: items section: %w", err)
+	}
+	if items == nil || items.Rows != rows || items.Cols != cols {
+		return nil, fmt.Errorf("%w: cover-tree item matrix disagrees with meta", snap.ErrChecksum)
+	}
+
+	payload, ok = f.Section(secCTTree)
+	if !ok {
+		return nil, fmt.Errorf("%w: cover-tree snapshot missing section %q", snap.ErrChecksum, secCTTree)
+	}
+	d = snap.NewDecoder(payload)
+	root, err := decodeNode(d, rows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("covertree: tree section: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("covertree: tree section: %w", err)
+	}
+	if (root == nil) != (rows == 0) {
+		return nil, fmt.Errorf("%w: cover-tree root disagrees with item count", snap.ErrChecksum)
+	}
+	return &Tree{items: items, root: root, leafSize: leafSize}, nil
+}
+
+func decodeNode(d *snap.Decoder, rows, depth int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("%w: cover tree deeper than %d", snap.ErrChecksum, maxTreeDepth)
+	}
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	n := &node{id: int(d.I64()), maxDescDist: d.F64(), size: int(d.I64())}
+	isLeaf := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n.id < 0 || n.id >= rows || n.size < 1 || n.size > rows {
+		return nil, fmt.Errorf("%w: cover-tree node id=%d size=%d with %d items", snap.ErrChecksum, n.id, n.size, rows)
+	}
+	if isLeaf {
+		n.leafIDs = d.Ints()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(n.leafIDs) == 0 {
+			return nil, fmt.Errorf("%w: cover-tree leaf with no items", snap.ErrChecksum)
+		}
+		for _, id := range n.leafIDs {
+			if id < 0 || id >= rows {
+				return nil, fmt.Errorf("%w: cover-tree leaf ID %d outside [0, %d)", snap.ErrChecksum, id, rows)
+			}
+		}
+		return n, nil
+	}
+	nc := int(d.I64())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Each child costs ≥ 8 encoded bytes, so bounding the count by the
+	// bytes still unread keeps corrupt counts from huge allocations.
+	if nc < 1 || nc > d.Remaining()/8+1 {
+		return nil, fmt.Errorf("%w: cover-tree node with %d children", snap.ErrChecksum, nc)
+	}
+	n.children = make([]*node, 0, nc)
+	for i := 0; i < nc; i++ {
+		c, err := decodeNode(d, rows, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return nil, fmt.Errorf("%w: cover-tree internal node with nil child", snap.ErrChecksum)
+		}
+		n.children = append(n.children, c)
+	}
+	return n, nil
+}

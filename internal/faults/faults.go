@@ -45,6 +45,12 @@ const (
 	SiteServerSearch = "server.search"
 	// SiteServerMutate fires at the top of /v1/items mutations.
 	SiteServerMutate = "server.mutate"
+	// SiteWALWrite fires once per WAL append (snap.WAL.Append): OnItem
+	// receives the record's sequence number, then OnCall runs. A failure
+	// or panic from either makes the append tear deterministically — half
+	// the record reaches disk, the WAL marks itself failed — which is how
+	// the crash-recovery battery manufactures torn writes on demand.
+	SiteWALWrite = "wal.write"
 )
 
 // Plan describes the deterministic faults a Hook injects. The zero

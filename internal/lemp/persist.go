@@ -1,0 +1,128 @@
+package lemp
+
+import (
+	"fmt"
+	"io"
+
+	"fexipro/internal/snap"
+)
+
+// LEMP persistence (fexsnap/v1, DESIGN.md §15): bucket construction
+// costs a full sort plus per-bucket w tuning against sample queries, so
+// a deployed service saves the finished buckets once. Load restores the
+// exact bucket layout — normalized rows, per-bucket w, tail norms,
+// coord bounds — so a loaded index scans bit-identically to the one
+// that was saved (tuning samples are NOT needed again).
+
+const (
+	secLempMeta = "lmp.meta" // d, strategy, bucket count
+	secLempBkts = "lmp.bkts" // the buckets, in scan order
+)
+
+// Save writes the index as a fexsnap/v1 container.
+func (idx *Index) Save(w io.Writer) error {
+	var b snap.Builder
+	b.Section(secLempMeta, func(e *snap.Encoder) {
+		e.I64(int64(idx.d))
+		e.I64(int64(idx.strategy))
+		e.I64(int64(len(idx.buckets)))
+	})
+	b.Section(secLempBkts, func(e *snap.Encoder) {
+		for i := range idx.buckets {
+			bk := &idx.buckets[i]
+			e.Matrix(bk.unit)
+			e.Floats(bk.norms)
+			e.Ints(bk.ids)
+			e.I64(int64(bk.w))
+			e.Floats(bk.tailNorms)
+			e.F64(bk.maxNorm)
+			e.Bool(bk.coord != nil)
+			if bk.coord != nil {
+				e.Floats(bk.coord.lo)
+				e.Floats(bk.coord.hi)
+				e.F64(bk.coord.minNorm)
+			}
+		}
+	})
+	return b.Flush(w)
+}
+
+// Load reads an index written by Save. Every error wraps one of the
+// snap sentinels (snap.ErrBadMagic / snap.ErrChecksum /
+// snap.ErrTruncated).
+func Load(r io.Reader) (*Index, error) {
+	f, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("lemp: reading index: %w", err)
+	}
+	payload, ok := f.Section(secLempMeta)
+	if !ok {
+		return nil, fmt.Errorf("%w: LEMP snapshot missing section %q", snap.ErrChecksum, secLempMeta)
+	}
+	d := snap.NewDecoder(payload)
+	idx := &Index{d: int(d.I64()), strategy: Strategy(d.I64())}
+	nBuckets := int(d.I64())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("lemp: meta section: %w", err)
+	}
+	if idx.d < 1 || idx.strategy < StrategyLI || idx.strategy > StrategyCoord || nBuckets < 0 {
+		return nil, fmt.Errorf("%w: LEMP snapshot meta d=%d strategy=%d buckets=%d",
+			snap.ErrChecksum, idx.d, idx.strategy, nBuckets)
+	}
+
+	payload, ok = f.Section(secLempBkts)
+	if !ok {
+		return nil, fmt.Errorf("%w: LEMP snapshot missing section %q", snap.ErrChecksum, secLempBkts)
+	}
+	d = snap.NewDecoder(payload)
+	idx.buckets = make([]bucket, 0, nBuckets)
+	for i := 0; i < nBuckets; i++ {
+		var bk bucket
+		bk.unit = d.Matrix()
+		bk.norms = d.Floats()
+		bk.ids = d.Ints()
+		bk.w = int(d.I64())
+		bk.tailNorms = d.Floats()
+		bk.maxNorm = d.F64()
+		if d.Bool() {
+			cb := &coordBounds{}
+			cb.lo = d.Floats()
+			cb.hi = d.Floats()
+			cb.minNorm = d.F64()
+			bk.coord = cb
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("lemp: bucket %d: %w", i, err)
+		}
+		if err := validateBucket(&bk, idx.d, idx.strategy); err != nil {
+			return nil, fmt.Errorf("bucket %d: %w", i, err)
+		}
+		idx.buckets = append(idx.buckets, bk)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("lemp: bucket section: %w", err)
+	}
+	return idx, nil
+}
+
+// validateBucket checks the structural invariants the scan loops assume
+// so a corrupted file cannot cause out-of-range panics later.
+func validateBucket(bk *bucket, dim int, strategy Strategy) error {
+	if bk.unit == nil || bk.unit.Cols != dim || bk.unit.Rows < 1 {
+		return fmt.Errorf("%w: LEMP bucket matrix shape", snap.ErrChecksum)
+	}
+	n := bk.unit.Rows
+	if len(bk.norms) != n || len(bk.ids) != n || len(bk.tailNorms) != n {
+		return fmt.Errorf("%w: LEMP bucket arrays disagree with %d rows", snap.ErrChecksum, n)
+	}
+	if bk.w < 1 || bk.w > dim {
+		return fmt.Errorf("%w: LEMP bucket w=%d outside [1, %d]", snap.ErrChecksum, bk.w, dim)
+	}
+	if (strategy == StrategyCoord) != (bk.coord != nil) {
+		return fmt.Errorf("%w: LEMP bucket coord bounds disagree with strategy", snap.ErrChecksum)
+	}
+	if bk.coord != nil && (len(bk.coord.lo) != dim || len(bk.coord.hi) != dim) {
+		return fmt.Errorf("%w: LEMP coord bounds have wrong dimension", snap.ErrChecksum)
+	}
+	return nil
+}

@@ -65,6 +65,14 @@ const (
 	// execution engine, labeled by shard index (DESIGN.md §11). Skew
 	// between shard labels reveals partition imbalance.
 	MetricShardScan = "fexipro_shard_scan_seconds"
+	// Persistence metrics (DESIGN.md §15): snapshot load/save wall time
+	// and cumulative WAL record counts. Load is set once at boot; save is
+	// refreshed at every checkpoint; records counts acknowledged mutation
+	// appends; replays counts records re-applied during recovery.
+	MetricSnapshotLoad = "fexipro_snapshot_load_seconds"
+	MetricSnapshotSave = "fexipro_snapshot_save_seconds"
+	MetricWALRecords   = "fexipro_wal_records_total"
+	MetricWALReplays   = "fexipro_wal_replays_total"
 )
 
 // SearchRecorder accumulates cumulative per-stage counters and search

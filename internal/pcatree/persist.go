@@ -1,0 +1,178 @@
+package pcatree
+
+import (
+	"fmt"
+	"io"
+
+	"fexipro/internal/snap"
+	"fexipro/internal/vec"
+)
+
+// PCA-tree persistence (fexsnap/v1, DESIGN.md §15): construction runs a
+// thin SVD per internal node, by far the most expensive build in the
+// repository relative to its size, so the finished split directions and
+// thresholds are stored verbatim. Load restores the original items, the
+// Theorem 3 lift, and the tree, so a loaded tree descends and re-ranks
+// bit-identically to the saved one.
+
+const (
+	secPCMeta  = "pc.meta"  // options, rows, cols
+	secPCItems = "pc.items" // original item matrix
+	secPCExt   = "pc.ext"   // (d+1)-dimensional lifted matrix
+	secPCTree  = "pc.tree"  // preorder node encoding
+)
+
+// Save writes the tree as a fexsnap/v1 container.
+func (t *Tree) Save(w io.Writer) error {
+	var b snap.Builder
+	b.Section(secPCMeta, func(e *snap.Encoder) {
+		e.I64(int64(t.opts.LeafSize))
+		e.F64(t.opts.SpillFraction)
+		e.I64(int64(t.items.Rows))
+		e.I64(int64(t.items.Cols))
+	})
+	b.Section(secPCItems, func(e *snap.Encoder) { e.Matrix(t.items) })
+	b.Section(secPCExt, func(e *snap.Encoder) { e.Matrix(t.ext) })
+	b.Section(secPCTree, func(e *snap.Encoder) { encodeNode(e, t.root) })
+	return b.Flush(w)
+}
+
+// encodeNode emits a preorder encoding: presence, then either the leaf
+// IDs or the split (direction, threshold, spread) and both children.
+func encodeNode(e *snap.Encoder, n *pnode) {
+	e.Bool(n != nil)
+	if n == nil {
+		return
+	}
+	e.Bool(n.ids != nil)
+	if n.ids != nil {
+		e.Ints(n.ids)
+		return
+	}
+	e.Floats(n.direction)
+	e.F64(n.threshold)
+	e.F64(n.spread)
+	encodeNode(e, n.left)
+	encodeNode(e, n.right)
+}
+
+// Load reads a tree written by Save. Every error wraps one of the snap
+// sentinels.
+func Load(r io.Reader) (*Tree, error) {
+	f, err := snap.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("pcatree: reading tree: %w", err)
+	}
+	payload, ok := f.Section(secPCMeta)
+	if !ok {
+		return nil, fmt.Errorf("%w: PCA-tree snapshot missing section %q", snap.ErrChecksum, secPCMeta)
+	}
+	d := snap.NewDecoder(payload)
+	t := &Tree{}
+	t.opts.LeafSize = int(d.I64())
+	t.opts.SpillFraction = d.F64()
+	rows := int(d.I64())
+	cols := int(d.I64())
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("pcatree: meta section: %w", err)
+	}
+	if t.opts.LeafSize < 1 || rows < 0 || cols < 1 {
+		return nil, fmt.Errorf("%w: PCA-tree meta leafSize=%d shape %d×%d", snap.ErrChecksum, t.opts.LeafSize, rows, cols)
+	}
+
+	for _, s := range []struct {
+		tag  string
+		dst  **vec.Matrix
+		cols int
+	}{
+		{secPCItems, &t.items, cols},
+		{secPCExt, &t.ext, cols + 1},
+	} {
+		payload, ok := f.Section(s.tag)
+		if !ok {
+			return nil, fmt.Errorf("%w: PCA-tree snapshot missing section %q", snap.ErrChecksum, s.tag)
+		}
+		d := snap.NewDecoder(payload)
+		m := d.Matrix()
+		if err := d.Finish(); err != nil {
+			return nil, fmt.Errorf("pcatree: section %q: %w", s.tag, err)
+		}
+		if s.tag == secPCItems {
+			if m == nil || m.Rows != rows || m.Cols != s.cols {
+				return nil, fmt.Errorf("%w: PCA-tree matrix %q disagrees with meta", snap.ErrChecksum, s.tag)
+			}
+		} else if rows > 0 && (m == nil || m.Rows != rows || m.Cols != s.cols) {
+			// The lift is only materialized for non-empty trees.
+			return nil, fmt.Errorf("%w: PCA-tree matrix %q disagrees with meta", snap.ErrChecksum, s.tag)
+		}
+		*s.dst = m
+	}
+
+	payload, ok = f.Section(secPCTree)
+	if !ok {
+		return nil, fmt.Errorf("%w: PCA-tree snapshot missing section %q", snap.ErrChecksum, secPCTree)
+	}
+	d = snap.NewDecoder(payload)
+	root, err := decodeNode(d, cols+1, rows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("pcatree: tree section: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("pcatree: tree section: %w", err)
+	}
+	if (root == nil) != (rows == 0) {
+		return nil, fmt.Errorf("%w: PCA-tree root disagrees with item count", snap.ErrChecksum)
+	}
+	t.root = root
+	return t, nil
+}
+
+func decodeNode(d *snap.Decoder, extDim, rows, depth int) (*pnode, error) {
+	// Builds stop at maxPCADepth, so any deeper encoding is corrupt.
+	if depth > maxPCADepth {
+		return nil, fmt.Errorf("%w: PCA tree deeper than %d", snap.ErrChecksum, maxPCADepth)
+	}
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	n := &pnode{}
+	isLeaf := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if isLeaf {
+		n.ids = d.Ints()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(n.ids) == 0 {
+			return nil, fmt.Errorf("%w: PCA-tree leaf with no items", snap.ErrChecksum)
+		}
+		for _, id := range n.ids {
+			if id < 0 || id >= rows {
+				return nil, fmt.Errorf("%w: PCA-tree leaf ID %d outside [0, %d)", snap.ErrChecksum, id, rows)
+			}
+		}
+		return n, nil
+	}
+	n.direction = d.Floats()
+	n.threshold = d.F64()
+	n.spread = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(n.direction) != extDim {
+		return nil, fmt.Errorf("%w: PCA-tree split direction has %d dims, want %d", snap.ErrChecksum, len(n.direction), extDim)
+	}
+	var err error
+	if n.left, err = decodeNode(d, extDim, rows, depth+1); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeNode(d, extDim, rows, depth+1); err != nil {
+		return nil, err
+	}
+	if n.left == nil || n.right == nil {
+		return nil, fmt.Errorf("%w: PCA-tree internal node missing a child", snap.ErrChecksum)
+	}
+	return n, nil
+}

@@ -41,6 +41,7 @@ import (
 	"fexipro/internal/faults"
 	"fexipro/internal/obs"
 	"fexipro/internal/search"
+	"fexipro/internal/snap"
 	"fexipro/internal/topk"
 	"fexipro/internal/vec"
 )
@@ -88,6 +89,24 @@ type Config struct {
 	// SearchWorkers bounds the per-query goroutine pool when Shards > 1
 	// (≤ 0 means GOMAXPROCS, clamped to Shards). Ignored for Shards ≤ 1.
 	SearchWorkers int
+
+	// DataDir, when non-empty, enables persistence (DESIGN.md §15): boot
+	// loads <dir>/current.snap and replays <dir>/dyn.wal instead of
+	// rebuilding the index (a fresh directory is initialized from the
+	// initial matrix and checkpointed), and every acknowledged mutation
+	// is appended to the WAL before the response is sent. When a
+	// snapshot exists it is authoritative: its options and shard count
+	// win over the flags, and a dimensionality mismatch with the initial
+	// matrix is a startup error.
+	DataDir string
+	// CheckpointEvery writes a fresh snapshot and truncates the WAL
+	// after that many acknowledged mutations; 0 checkpoints only on
+	// shutdown and reload. Requires DataDir.
+	CheckpointEvery int
+	// WALSyncEvery fsyncs the WAL on every Nth append (default 1 =
+	// every append). Values > 1 batch fsyncs: higher mutation
+	// throughput, but a crash may lose up to N-1 acknowledged records.
+	WALSyncEvery int
 
 	// Trace enables per-query span collection (DESIGN.md §13): every
 	// /v1/ search and mutation gets a span tree — transform, per-shard
@@ -149,6 +168,17 @@ type Server struct {
 	uptime      *obs.Gauge
 	quantiles   []*obs.Gauge // one per obs.WindowQuantiles entry
 
+	// Persistence state (see persist.go); wal is nil without DataDir.
+	wal             *snap.WAL
+	dataDir         string
+	checkpointEvery int
+	sinceCheckpoint int // acknowledged mutations since the last checkpoint (under mu)
+	reloading       atomic.Bool
+	snapLoad        *obs.Gauge
+	snapSave        *obs.Gauge
+	walRecords      *obs.Counter
+	walReplays      *obs.Counter
+
 	// Guard stack (see guard.go).
 	sem           chan struct{} // nil when MaxConcurrent == 0
 	ready         atomic.Bool
@@ -173,7 +203,16 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 	if shards < 1 {
 		shards = 1
 	}
-	idx, err := core.NewDynamicIndexSharded(initial, opts, 0, shards, cfg.SearchWorkers)
+	var (
+		idx  *core.DynamicIndex
+		boot *persistBoot
+		err  error
+	)
+	if cfg.DataDir != "" {
+		idx, boot, err = openPersistence(cfg, initial, opts, shards)
+	} else {
+		idx, err = core.NewDynamicIndexSharded(initial, opts, 0, shards, cfg.SearchWorkers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +228,7 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 	reg := cfg.Metrics
 	s := &Server{
 		idx:  idx,
-		dim:  initial.Cols,
+		dim:  idx.Dim(),
 		MaxK: cfg.MaxK,
 		cfg:  cfg,
 		reg:  reg,
@@ -238,11 +277,36 @@ func NewWithConfig(initial *vec.Matrix, opts core.Options, cfg Config) (*Server,
 			"Search requests finishing above a latency objective (SLO burn).",
 			obs.L("objective", obj.String())))
 	}
-	if shards > 1 {
+	if idx.Shards() > 1 {
 		// Per-shard scan wall time (fexipro_shard_scan_seconds), labeled
 		// by shard index; the per-shard stage counters already flow into
 		// the cumulative SearchRecorder totals via the engine's merge.
+		// idx.Shards() rather than cfg.Shards: a recovered snapshot's
+		// shard count is authoritative.
 		idx.SetShardObserver(obs.ShardScanObserver(reg, opts.Variant()))
+	}
+
+	// Persistence wiring (persist.go): WAL handle, checkpoint cadence,
+	// and the §15 metrics, primed with what boot already did.
+	if boot != nil {
+		s.wal = boot.wal
+		s.wal.SetFaultHook(cfg.Faults.Hook(faults.SiteWALWrite))
+		s.dataDir = cfg.DataDir
+		s.checkpointEvery = cfg.CheckpointEvery
+		s.snapLoad = reg.Gauge(obs.MetricSnapshotLoad,
+			"Wall time of the boot snapshot load + WAL replay (0 when the index was built, not loaded).")
+		s.snapSave = reg.Gauge(obs.MetricSnapshotSave,
+			"Wall time of the most recent snapshot checkpoint.")
+		s.walRecords = reg.Counter(obs.MetricWALRecords,
+			"Acknowledged mutations appended to the write-ahead log.")
+		s.walReplays = reg.Counter(obs.MetricWALReplays,
+			"WAL records replayed into the index during boot recovery.")
+		if boot.loaded {
+			s.snapLoad.Set(boot.loadDur.Seconds())
+		} else {
+			s.snapSave.Set(boot.saveDur.Seconds())
+		}
+		s.walReplays.Add(int64(boot.replayed))
 	}
 
 	// Guard stack wiring (middleware in guard.go).
@@ -612,12 +676,26 @@ func (s *Server) handleAddItem(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.reloading.Load() {
+		httpErrorCode(w, http.StatusServiceUnavailable, "reloading", "catalog reload in progress; retry shortly")
+		return
+	}
 	r, root := s.traceStart(r, "add")
 	start := time.Now()
 	s.mu.Lock()
 	id, err := s.idx.AddContext(r.Context(), req.Vector)
+	var ckptErr error
+	if err == nil {
+		// Apply-then-log under one lock: the WAL record is written only
+		// for mutations that took effect, and the request is acknowledged
+		// only after the record is durable (persist.go).
+		ckptErr, err = s.logMutationLocked(snap.WALAdd, id, req.Vector)
+	}
 	n := s.idx.Len()
 	s.mu.Unlock()
+	if ckptErr != nil {
+		s.log.Error("periodic checkpoint failed", "err", ckptErr)
+	}
 	s.traceFinish(r, root, "add", 0, time.Since(start), err == nil, nil)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "add failed: %v", err)
@@ -639,15 +717,30 @@ func (s *Server) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad item id %q", idStr)
 		return
 	}
+	if s.reloading.Load() {
+		httpErrorCode(w, http.StatusServiceUnavailable, "reloading", "catalog reload in progress; retry shortly")
+		return
+	}
 	r, root := s.traceStart(r, "delete")
 	start := time.Now()
 	s.mu.Lock()
 	err = s.idx.DeleteContext(r.Context(), id)
+	var walErr, ckptErr error
+	if err == nil {
+		ckptErr, walErr = s.logMutationLocked(snap.WALDelete, id, nil)
+	}
 	n := s.idx.Len()
 	s.mu.Unlock()
-	s.traceFinish(r, root, "delete", 0, time.Since(start), err == nil, nil)
+	if ckptErr != nil {
+		s.log.Error("periodic checkpoint failed", "err", ckptErr)
+	}
+	s.traceFinish(r, root, "delete", 0, time.Since(start), err == nil && walErr == nil, nil)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if walErr != nil {
+		httpError(w, http.StatusInternalServerError, "delete failed: %v", walErr)
 		return
 	}
 	s.deletes.Inc()
