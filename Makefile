@@ -10,9 +10,11 @@ GO ?= go
 # registry (including span trees and sliding-window rotation), the
 # fault-injection hooks, the cancellation paths of the core retriever
 # and the scan baselines, the sharded execution engine and its kernels,
-# and the open-loop load generator's concurrent senders. `make race`
-# runs everything.
-RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/... ./internal/engine/... ./internal/load/... ./internal/snap/...
+# and the open-loop load generator's concurrent senders, plus the query
+# planner (EWMA calibration under the server's concurrent searches) and
+# the method registry its candidates come from. `make race` runs
+# everything.
+RACE_PKGS = ./internal/server/... ./internal/obs/... ./internal/faults/... ./internal/core/... ./internal/scan/... ./internal/engine/... ./internal/load/... ./internal/snap/... ./internal/plan/... ./internal/method/...
 
 # Per-target budget for the fuzz smoke (`go test -fuzz` accepts exactly
 # one target per invocation).

@@ -9,16 +9,14 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
-	"fexipro/internal/balltree"
-	"fexipro/internal/core"
-	"fexipro/internal/covertree"
 	"fexipro/internal/data"
 	"fexipro/internal/engine"
-	"fexipro/internal/lemp"
+	"fexipro/internal/method"
 	"fexipro/internal/obs"
-	"fexipro/internal/scan"
+	"fexipro/internal/plan"
 	"fexipro/internal/search"
 	"fexipro/internal/vec"
 )
@@ -58,8 +56,15 @@ func (c Config) Load(p data.Profile) *data.Dataset {
 	return data.Generate(p, c.Items, c.Queries, c.Dim)
 }
 
-// Methods in the order of Table 4.
-var MethodNames = []string{"Naive", "BallTree", "FastMKS", "SS-L", "F-S", "F-I", "F-SI", "F-SR", "F-SIR"}
+// MethodNames are the methods of the paper's Table 4, in table order —
+// derived from the internal/method registry, the single source of
+// method names in this repository.
+var MethodNames = method.TableNames()
+
+// AutoMethod is the pseudo-method name that builds the cost-based
+// query planner (internal/plan) over the registry's default candidate
+// pool instead of one fixed method.
+const AutoMethod = "auto"
 
 // Built couples a constructed searcher with its preprocessing time.
 type Built struct {
@@ -72,76 +77,73 @@ type Built struct {
 // LEMP's preprocessing works with "a small number of sample queries".
 const tuningSamples = 5
 
-// Build constructs the named method over the items. SS-L and LEMP use
-// (the first few) sampleQueries for w tuning when provided.
+// Build constructs the named method over the items by resolving the
+// internal/method registry (names and aliases, case-insensitive). SS-L
+// and LEMP use (the first few) sampleQueries for w tuning when
+// provided. The name "auto" builds the cost-based planner over the
+// registry's default candidate pool.
 func Build(name string, items *vec.Matrix, sampleQueries *vec.Matrix) (Built, error) {
-	sampleQueries = firstRows(sampleQueries, tuningSamples)
-	start := time.Now()
-	var s search.Searcher
-	switch name {
-	case "Naive":
-		s = scan.NewNaive(items)
-	case "SS":
-		s = scan.NewSS(items, 0)
-	case "SS-L":
-		s = scan.NewSSL(items, scan.SSLOptions{SampleQueries: sampleQueries})
-	case "BallTree":
-		s = balltree.New(items, 0)
-	case "FastMKS":
-		s = covertree.New(items, 0)
-	case "LEMP":
-		s = lemp.New(items, lemp.Options{SampleQueries: sampleQueries})
-	default:
-		opts, err := core.OptionsForVariant(name)
-		if err != nil {
-			return Built{}, fmt.Errorf("experiments: unknown method %q", name)
-		}
-		idx, err := core.NewIndex(items, opts)
-		if err != nil {
-			return Built{}, err
-		}
-		s = core.NewRetriever(idx)
-	}
-	return Built{Name: name, Searcher: s, Preprocess: time.Since(start)}, nil
+	return BuildSharded(name, items, sampleQueries, 1, 1)
 }
 
 // BuildSharded constructs the named method with its index partitioned
 // into `shards` scanned per query by a pool of `workers` goroutines
 // through the sharded execution engine (DESIGN.md §11). shards ≤ 1
-// falls back to the sequential Build. Preprocess includes the shard
+// builds the sequential searcher. Preprocess includes the shard
 // partitioning (and, for tree methods, the per-shard tree builds).
 func BuildSharded(name string, items, sampleQueries *vec.Matrix, shards, workers int) (Built, error) {
-	if shards <= 1 {
-		return Build(name, items, sampleQueries)
+	if strings.EqualFold(name, AutoMethod) {
+		return buildAuto(items, sampleQueries, shards, workers)
 	}
-	sampleQueries = firstRows(sampleQueries, tuningSamples)
+	d, err := method.Get(name)
+	if err != nil {
+		return Built{}, fmt.Errorf("experiments: %w", err)
+	}
+	o := method.BuildOptions{SampleQueries: firstRows(sampleQueries, tuningSamples)}
 	start := time.Now()
-	var kern engine.Kernel
-	switch name {
-	case "Naive":
-		kern = scan.NewNaiveKernel(scan.NewNaive(items), shards)
-	case "SS":
-		kern = scan.NewSSKernel(scan.NewSS(items, 0), shards)
-	case "SS-L":
-		kern = scan.NewSSLKernel(scan.NewSSL(items, scan.SSLOptions{SampleQueries: sampleQueries}), shards)
-	case "BallTree":
-		kern = balltree.NewKernel(items, 0, shards)
-	case "FastMKS":
-		kern = covertree.NewKernel(items, 0, shards)
-	case "LEMP":
-		kern = lemp.NewKernel(lemp.New(items, lemp.Options{SampleQueries: sampleQueries}), shards)
-	default:
-		opts, err := core.OptionsForVariant(name)
-		if err != nil {
-			return Built{}, fmt.Errorf("experiments: unknown method %q", name)
+	var s search.Searcher
+	if shards <= 1 {
+		s, err = d.Build(items, o)
+	} else {
+		var kern engine.Kernel
+		kern, err = d.NewKernel(items, o, shards)
+		if err == nil {
+			s = engine.New(kern, workers)
 		}
-		idx, err := core.NewIndex(items, opts)
-		if err != nil {
-			return Built{}, err
-		}
-		kern = core.NewSharded(idx, shards)
 	}
-	return Built{Name: name, Searcher: engine.New(kern, workers), Preprocess: time.Since(start)}, nil
+	if err != nil {
+		return Built{}, err
+	}
+	return Built{Name: d.Name, Searcher: s, Preprocess: time.Since(start)}, nil
+}
+
+// buildAuto constructs one candidate per registry AutoCandidate method
+// and wires them into a plan.Planner, so the harness measures the
+// planner exactly like any fixed method — its Run results additionally
+// carry a plan Summary (decisions, mispredict rate).
+func buildAuto(items, sampleQueries *vec.Matrix, shards, workers int) (Built, error) {
+	start := time.Now()
+	var cands []plan.Candidate
+	for _, name := range method.AutoNames() {
+		b, err := BuildSharded(name, items, sampleQueries, shards, workers)
+		if err != nil {
+			return Built{}, fmt.Errorf("experiments: auto candidate %s: %w", name, err)
+		}
+		d, _ := method.Lookup(name)
+		cands = append(cands, plan.Candidate{
+			Name:     d.Name,
+			Searcher: search.WithContext(b.Searcher),
+			Cost:     d.Cost,
+			Exact:    d.Exact,
+		})
+	}
+	p, err := plan.New(cands, plan.Options{
+		N: items.Rows, D: items.Cols, Shards: shards, Workers: workers,
+	})
+	if err != nil {
+		return Built{}, err
+	}
+	return Built{Name: AutoMethod, Searcher: p, Preprocess: time.Since(start)}, nil
 }
 
 // QueryCost records one query's work for the distribution figures.
@@ -171,6 +173,10 @@ type RunResult struct {
 	Transform   time.Duration
 	Scan        time.Duration
 	Merge       time.Duration
+
+	// Plan is the planner's decision summary, present only for the
+	// "auto" pseudo-method.
+	Plan *plan.Summary
 }
 
 // Run executes every query of the dataset at k against a built method.
@@ -218,6 +224,10 @@ func Run(b Built, ds *data.Dataset, k int, collectPerQuery bool) RunResult {
 	r.Retrieve = time.Since(start)
 	if ds.Queries.Rows > 0 {
 		r.AvgFullIP = float64(totalFull) / float64(ds.Queries.Rows)
+	}
+	if p, ok := b.Searcher.(interface{ Summary() plan.Summary }); ok {
+		s := p.Summary()
+		r.Plan = &s
 	}
 	return r
 }

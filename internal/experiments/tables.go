@@ -6,10 +6,12 @@ import (
 
 	"fexipro/internal/batch"
 	"fexipro/internal/lemp"
+	"fexipro/internal/method"
 )
 
-// pruningMethods are the columns of Tables 3 and 7.
-var pruningMethods = []string{"BallTree", "SS-L", "F-S", "F-SI", "F-SIR"}
+// pruningMethods are the columns of Tables 3 and 7 — the registry's
+// Pruning-flagged methods in table order.
+var pruningMethods = method.PruningNames()
 
 // Grid runs the given methods over every configured profile at one k and
 // returns results indexed by [method][dataset].

@@ -28,6 +28,7 @@ var fixtureCases = []struct {
 	{HotAlloc, "hotalloc"},
 	{APIParity, "apiparity"},
 	{BoundFlow, "boundflow"},
+	{RegistryCover, "registrycover"},
 }
 
 // want is one expectation parsed from a `// want` comment.
@@ -197,8 +198,8 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerRegistry checks All()/ByName round-trips.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 analyzers, got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 analyzers, got %d", len(all))
 	}
 	names := make([]string, len(all))
 	for i, a := range all {

@@ -37,6 +37,10 @@
 //     values from //fex:bound upper-bound computations may only reach
 //     strictly-conservative threshold comparisons, with bound-fn facts
 //     carrying the taint across package boundaries.
+//   - registrycover: every method.Descriptor registered with a NewKernel
+//     factory must route to a kernel whose package has a sharded_test.go
+//     invoking searchtest.CheckSharded — the planner may only choose
+//     among harness-covered methods (DESIGN.md §16).
 //
 // The driver type-checks package directories in parallel, runs each
 // analyzer's per-unit pass concurrently across units, then runs an
@@ -391,6 +395,7 @@ func All() []*Analyzer {
 		HotAlloc,
 		APIParity,
 		BoundFlow,
+		RegistryCover,
 	}
 }
 

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// RegistryCover closes the gap between the method registry and the
+// sharded-exactness harness: every method.Descriptor registered with a
+// NewKernel factory must route to a kernel whose package is covered by
+// a sharded_test.go invoking searchtest.CheckSharded. The kernelcontract
+// analyzer pins coverage for types that structurally implement
+// engine.Kernel; this one pins it from the other direction — a
+// descriptor whose factory returns a kernel from an uncovered package
+// is an error even if the kernel type itself slips past structural
+// detection (wrapper types, interface-typed constructors). Without it,
+// `-method auto` could route production queries through a kernel whose
+// S=1 ⇔ S>1 bit-identity no test has ever checked.
+//
+// Per unit, the pass exports one fact per Descriptor literal carrying a
+// NewKernel field: the import path of the package defining the
+// factory's returned kernel type (falling back to the constructor's
+// package when the return type is interface-typed). sharded_test.go
+// files export CheckSharded facts exactly as kernelcontract does. The
+// module phase joins the two through the unit table: kernel package
+// without coverage ⇒ diagnostic at the Descriptor literal.
+var RegistryCover = &Analyzer{
+	Name:      "registrycover",
+	Doc:       "registered methods must route through CheckSharded-covered kernel packages",
+	Run:       runRegistryCover,
+	RunModule: runRegistryCoverModule,
+}
+
+const factRegisteredKernel = "registered-kernel"
+
+func runRegistryCover(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isMethodDescriptorType(pass.TypeOf(lit)) {
+				return true
+			}
+			name, factory := descriptorFields(lit)
+			if factory == nil {
+				return true // no NewKernel: nothing routes through the engine
+			}
+			pkg := kernelFactoryPackage(pass, factory)
+			if pkg == "" {
+				pass.Reportf(factory.Pos(),
+					"method %s: cannot resolve the kernel package NewKernel returns; return the concrete kernel constructor directly so registrycover can pair it with its sharded_test.go", name)
+				return true
+			}
+			pass.ExportFact(lit.Pos(), factRegisteredKernel, name+"|"+pkg)
+			return true
+		})
+	}
+
+	// Export CheckSharded invocations for the module-phase join. Facts
+	// are analyzer-scoped, so registrycover records its own even though
+	// kernelcontract exports the same sites.
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		if filepath.Base(fname) != "sharded_test.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "CheckSharded") {
+				pass.ExportFact(call.Pos(), factCheckSharded, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// runRegistryCoverModule joins registered-kernel facts with CheckSharded
+// facts through the unit table's import-path → directory mapping.
+func runRegistryCoverModule(mp *ModulePass) {
+	dirOf := make(map[string]string, len(mp.Units))
+	for _, u := range mp.Units {
+		dirOf[strings.TrimSuffix(u.Path, "_test")] = u.Dir
+	}
+	covered := make(map[string]bool)
+	for _, f := range mp.Facts {
+		if f.Name == factCheckSharded {
+			covered[f.Dir] = true
+		}
+	}
+	for _, f := range mp.Facts {
+		if f.Name != factRegisteredKernel {
+			continue
+		}
+		name, pkg, _ := strings.Cut(f.Value, "|")
+		dir, loaded := dirOf[pkg]
+		if !loaded {
+			continue // kernel package outside the analyzed set
+		}
+		if !covered[dir] {
+			mp.Reportf(f.Pos,
+				"method %s registers a kernel from %s, which has no sharded_test.go invoking searchtest.CheckSharded — registry methods must route through harness-covered kernels (DESIGN.md §11, §16)",
+				name, pkg)
+		}
+	}
+}
+
+// isMethodDescriptorType matches the registry's Descriptor type
+// structurally: a named type Descriptor declared in a package named
+// method (the same by-name matching kernelcontract uses for
+// SharedThreshold, so fixtures can model the registry).
+func isMethodDescriptorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Descriptor" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "method"
+}
+
+// descriptorFields pulls the Name value (best effort: string literal or
+// identifier spelling) and the NewKernel function literal out of a
+// Descriptor composite literal.
+func descriptorFields(lit *ast.CompositeLit) (name string, factory *ast.FuncLit) {
+	name = "<unknown>"
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			switch v := kv.Value.(type) {
+			case *ast.BasicLit:
+				name = strings.Trim(v.Value, `"`)
+			case *ast.Ident:
+				name = "<" + v.Name + ">"
+			}
+		case "NewKernel":
+			if fl, ok := kv.Value.(*ast.FuncLit); ok {
+				factory = fl
+			}
+		}
+	}
+	return name, factory
+}
+
+// kernelFactoryPackage resolves the import path of the package defining
+// the kernel a NewKernel factory returns. It inspects every return
+// statement: the first result's concrete named type wins; when the
+// expression is interface-typed (a constructor declared to return
+// engine.Kernel), the constructor's own package is used instead.
+func kernelFactoryPackage(pass *Pass, factory *ast.FuncLit) string {
+	var pkg string
+	ast.Inspect(factory.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || pkg != "" || len(ret.Results) == 0 {
+			return true
+		}
+		expr := ret.Results[0]
+		if id, ok := expr.(*ast.Ident); ok && id.Name == "nil" {
+			return true // error path
+		}
+		if p := namedTypePackage(pass.TypeOf(expr)); p != "" {
+			pkg = p
+			return true
+		}
+		// Interface-typed constructor: attribute to the callee's package.
+		if call, ok := expr.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+					pkg = obj.Pkg().Path()
+				}
+			}
+		}
+		return true
+	})
+	return pkg
+}
+
+// namedTypePackage returns the defining package path of (a pointer to)
+// a named non-interface type, or "".
+func namedTypePackage(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}

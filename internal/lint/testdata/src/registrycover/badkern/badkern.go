@@ -1,0 +1,12 @@
+// Package badkern is a kernel package with NO sharded_test.go:
+// descriptors routing queries here must be flagged.
+package badkern
+
+// Kern is the uncovered kernel type.
+type Kern struct{}
+
+// Shards implements the fixture Kernel interface.
+func (k *Kern) Shards() int { return 1 }
+
+// New builds the uncovered kernel.
+func New(shards int) *Kern { return &Kern{} }

@@ -1,0 +1,12 @@
+// Package goodkern is a kernel package WITH sharded_test.go coverage;
+// descriptors routing here are clean.
+package goodkern
+
+// Kern is the covered kernel type.
+type Kern struct{}
+
+// Shards implements the fixture Kernel interface.
+func (k *Kern) Shards() int { return 1 }
+
+// New builds the covered kernel.
+func New(shards int) *Kern { return &Kern{} }

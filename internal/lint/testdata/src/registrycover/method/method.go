@@ -1,0 +1,17 @@
+// Package method is a fexlint golden-fixture stand-in for the real
+// method registry: the analyzer matches the Descriptor type by
+// (package name, type name), exactly like kernelcontract matches
+// SharedThreshold.
+package method
+
+// Kernel stands in for engine.Kernel.
+type Kernel interface{ Shards() int }
+
+// Descriptor mirrors the registry entry shape registrycover inspects.
+type Descriptor struct {
+	Name      string
+	NewKernel func(shards int) (Kernel, error)
+}
+
+// Register is the fixture registration sink.
+func Register(d Descriptor) {}

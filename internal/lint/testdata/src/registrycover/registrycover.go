@@ -1,0 +1,44 @@
+// Package registrycover is the fexlint golden fixture for the
+// registrycover analyzer: a Descriptor routing to a CheckSharded-covered
+// kernel package is clean, one routing to an uncovered package is
+// flagged at the literal, and a factory whose kernel package cannot be
+// resolved is flagged per-unit.
+package registrycover
+
+import (
+	"fexipro/internal/lint/testdata/src/registrycover/badkern"
+	"fexipro/internal/lint/testdata/src/registrycover/goodkern"
+	"fexipro/internal/lint/testdata/src/registrycover/method"
+)
+
+func opaque(shards int) method.Kernel { return goodkern.New(shards) }
+
+func register() {
+	method.Register(method.Descriptor{ // clean: goodkern has sharded_test.go
+		Name: "Good",
+		NewKernel: func(shards int) (method.Kernel, error) {
+			return goodkern.New(shards), nil
+		},
+	})
+	method.Register(method.Descriptor{
+		Name: "NoKernel", // clean: nothing routes through the engine
+	})
+	method.Register(method.Descriptor{ // want `method Bad registers a kernel from .*badkern, which has no sharded_test.go`
+		Name: "Bad",
+		NewKernel: func(shards int) (method.Kernel, error) {
+			return badkern.New(shards), nil
+		},
+	})
+	method.Register(method.Descriptor{
+		Name: "Opaque",
+		NewKernel: func(shards int) (method.Kernel, error) { // want `method Opaque: cannot resolve the kernel package`
+			var k method.Kernel
+			if shards > 0 {
+				k = opaque(shards)
+			}
+			return k, nil
+		},
+	})
+}
+
+var _ = register

@@ -1,0 +1,177 @@
+package method
+
+import (
+	"fexipro/internal/balltree"
+	"fexipro/internal/core"
+	"fexipro/internal/covertree"
+	"fexipro/internal/engine"
+	"fexipro/internal/lemp"
+	"fexipro/internal/pcatree"
+	"fexipro/internal/scan"
+	"fexipro/internal/search"
+	"fexipro/internal/vec"
+)
+
+// The descriptors below register every retrieval method the repository
+// implements, in a fixed order: Table-flagged entries reproduce the
+// paper's Table 4 column order exactly (Naive, BallTree, FastMKS, SS-L,
+// F-S, F-I, F-SI, F-SR, F-SIR), with the off-table methods (SS, LEMP,
+// PCATree, bare F) interleaved where they fit the family grouping.
+//
+// Cost-model coefficients are priors in the literal sense: close enough
+// to rank a blocked scan against a pruned index on cold start, and
+// replaced by online EWMA calibration (internal/plan) or an offline
+// `fexcalibrate -fit` sweep as soon as observations exist.
+func init() {
+	Register(Descriptor{
+		Name:           "Naive",
+		Aliases:        []string{"scan"},
+		Doc:            "exhaustive blocked scan; no preprocessing, no pruning",
+		Exact:          true,
+		Dynamic:        true,
+		ShardInvariant: true,
+		Table:          true,
+		AutoCandidate:  true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return scan.NewNaive(items), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return scan.NewNaiveKernel(scan.NewNaive(items), shards), nil
+		},
+		Cost: CostModel{Setup: 2e-7, PerItem: 2e-10, PerDim: 1.2e-9, PrunePrior: 0},
+	})
+	Register(Descriptor{
+		Name:           "BallTree",
+		Doc:            "metric-tree exact MIPS of Ram & Gray",
+		Exact:          true,
+		ShardInvariant: true,
+		Table:          true,
+		Pruning:        true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return balltree.New(items, o.LeafSize), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return balltree.NewKernel(items, o.LeafSize, shards), nil
+		},
+		Cost: CostModel{Setup: 5e-7, PerItem: 4e-9, PerDim: 1.2e-9, PrunePrior: 0.7},
+	})
+	Register(Descriptor{
+		Name:           "FastMKS",
+		Aliases:        []string{"covertree"},
+		Doc:            "cover-tree max-kernel search of Curtin et al.",
+		Exact:          true,
+		ShardInvariant: true,
+		Table:          true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return covertree.New(items, o.LeafSize), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return covertree.NewKernel(items, o.LeafSize, shards), nil
+		},
+		Cost: CostModel{Setup: 5e-7, PerItem: 6e-9, PerDim: 1.2e-9, PrunePrior: 0.5},
+	})
+	Register(Descriptor{
+		Name:           "SS",
+		Doc:            "Cauchy–Schwarz sorted scan with incremental pruning",
+		Exact:          true,
+		ShardInvariant: true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return scan.NewSS(items, o.W), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return scan.NewSSKernel(scan.NewSS(items, o.W), shards), nil
+		},
+		Cost: CostModel{Setup: 3e-7, PerItem: 1.2e-9, PerDim: 1.2e-9, PrunePrior: 0.5},
+	})
+	Register(Descriptor{
+		Name:           "SS-L",
+		Aliases:        []string{"ssl"},
+		Doc:            "LEMP-style normalized sorted scan with tuned checking dimension",
+		Exact:          true,
+		ShardInvariant: true,
+		Table:          true,
+		Pruning:        true,
+		AutoCandidate:  true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return scan.NewSSL(items, scan.SSLOptions{SampleQueries: o.SampleQueries}), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return scan.NewSSLKernel(scan.NewSSL(items, scan.SSLOptions{SampleQueries: o.SampleQueries}), shards), nil
+		},
+		Cost: CostModel{Setup: 3e-7, PerItem: 1.5e-9, PerDim: 1.2e-9, PrunePrior: 0.8},
+	})
+	Register(Descriptor{
+		Name:           "LEMP",
+		Doc:            "bucketed batch top-k join engine of Teflioudi et al.",
+		Exact:          true,
+		ShardInvariant: true,
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return lemp.New(items, lemp.Options{BucketSize: o.BucketSize, SampleQueries: o.SampleQueries}), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return lemp.NewKernel(lemp.New(items, lemp.Options{BucketSize: o.BucketSize, SampleQueries: o.SampleQueries}), shards), nil
+		},
+		Cost: CostModel{Setup: 5e-7, PerItem: 1.5e-9, PerDim: 1.2e-9, PrunePrior: 0.8},
+	})
+	Register(Descriptor{
+		Name: "PCATree",
+		Doc:  "APPROXIMATE PCA-tree of Bachrach et al.; excluded from planning unless approximate methods are allowed",
+		Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+			return pcatree.New(items, pcatree.Options{LeafSize: o.LeafSize, SpillFraction: o.SpillFraction}), nil
+		},
+		NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+			return pcatree.NewKernel(pcatree.New(items, pcatree.Options{LeafSize: o.LeafSize, SpillFraction: o.SpillFraction}), shards), nil
+		},
+		Cost: CostModel{Setup: 5e-7, PerItem: 3e-9, PerDim: 1.2e-9, PrunePrior: 0.95},
+	})
+	// The FEXIPRO family: one descriptor per paper variant, all built
+	// through core.OptionsForVariant so the name → technique-set parsing
+	// stays in internal/core where the techniques live.
+	fex := func(variant string, pruning, table, auto bool, cost CostModel) {
+		Register(Descriptor{
+			Name:           variant,
+			Doc:            "FEXIPRO variant " + variant,
+			Exact:          true,
+			Dynamic:        true,
+			ShardInvariant: true,
+			Table:          table,
+			Pruning:        pruning,
+			AutoCandidate:  auto,
+			Build: func(items *vec.Matrix, o BuildOptions) (search.Searcher, error) {
+				idx, err := newCoreIndex(variant, items, o)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewRetriever(idx), nil
+			},
+			NewKernel: func(items *vec.Matrix, o BuildOptions, shards int) (engine.Kernel, error) {
+				idx, err := newCoreIndex(variant, items, o)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewSharded(idx, shards), nil
+			},
+			Cost: cost,
+		})
+	}
+	fex("F-S", true, true, false, CostModel{Setup: 2e-6, PerItem: 1.5e-9, PerDim: 1.2e-9, PrunePrior: 0.85})
+	fex("F-I", false, true, false, CostModel{Setup: 2e-6, PerItem: 1.2e-9, PerDim: 1.2e-9, PrunePrior: 0.9})
+	fex("F-SI", true, true, false, CostModel{Setup: 2e-6, PerItem: 1.2e-9, PerDim: 1.2e-9, PrunePrior: 0.95})
+	fex("F-SR", false, true, false, CostModel{Setup: 3e-6, PerItem: 1.5e-9, PerDim: 1.2e-9, PrunePrior: 0.9})
+	fex("F-SIR", true, true, true, CostModel{Setup: 3e-6, PerItem: 1.2e-9, PerDim: 1.2e-9, PrunePrior: 0.97})
+	fex("F", false, false, false, CostModel{Setup: 1e-6, PerItem: 1.5e-9, PerDim: 1.2e-9, PrunePrior: 0.3})
+}
+
+// newCoreIndex builds a FEXIPRO core index for a paper variant with the
+// registry's tuning knobs applied.
+func newCoreIndex(variant string, items *vec.Matrix, o BuildOptions) (*core.Index, error) {
+	opts, err := core.OptionsForVariant(variant)
+	if err != nil {
+		return nil, err
+	}
+	opts.Rho = o.Rho
+	opts.E = o.E
+	opts.W = o.W
+	opts.CompactInts = o.CompactInts
+	return core.NewIndex(items, opts)
+}

@@ -1,0 +1,120 @@
+package method
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoMethodTablesOutsideRegistry is the mechanized form of the
+// refactor's acceptance check: no string-keyed method dispatch table
+// may survive outside internal/method. It parses every non-test Go
+// file in the module and fails on
+//
+//   - a switch `case "<MethodName>":` clause, or
+//   - a composite literal containing three or more distinct method
+//     names (a name table like the old experiments.MethodNames),
+//
+// anywhere but this package. Single names stay legal — calling
+// Build("F-SIR") or defaulting a flag to "F-SIR" is an invocation, not
+// a dispatch table — and so do pairs: the paper's figures are DEFINED
+// as two-method comparisons ("SS-L vs F-SIR over d"), which is figure
+// parameterization, not dispatch. Test files are exempt: they pin
+// registry behavior by enumerating names on purpose.
+func TestNoMethodTablesOutsideRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range Names() {
+		names[n] = true
+	}
+	root := moduleRoot(t)
+	selfDir := filepath.Join(root, "internal", "method")
+	fset := token.NewFileSet()
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := info.Name()
+			if base == ".git" || base == "testdata" || path == selfDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					if name, ok := methodNameLit(e, names); ok {
+						t.Errorf("%s: switch case on method name %q — dispatch must go through internal/method",
+							fset.Position(e.Pos()), name)
+					}
+				}
+			case *ast.CompositeLit:
+				distinct := map[string]bool{}
+				for _, e := range n.Elts {
+					if name, ok := methodNameLit(e, names); ok {
+						distinct[name] = true
+					}
+				}
+				if len(distinct) >= 3 {
+					t.Errorf("%s: literal method-name table %v — derive from internal/method instead",
+						fset.Position(n.Pos()), keys(distinct))
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func methodNameLit(e ast.Expr, names map[string]bool) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, names[s]
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func moduleRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fexipro/internal/method"
+	"fexipro/internal/snap"
+)
+
+// Schema is the versioned identifier of the planner coefficients
+// format. The payload is JSON for diffability, carried inside a
+// fexsnap/v1 container section so readers get the same magic/CRC/
+// forward-compat guarantees as every other persisted artifact.
+const Schema = "fexplan/v1"
+
+// SectionTag is the fexsnap section holding the JSON payload.
+const SectionTag = "plan.cal"
+
+// CalibrationFile is the conventional file name inside a server data
+// directory; fexserve -data-dir boots load it when present and
+// checkpoints write it back, so calibration survives restarts.
+const CalibrationFile = "plan.snap"
+
+// Calibration is a set of fitted per-method cost-model coefficients —
+// the output of fexcalibrate -fit or of a running planner's persisted
+// state.
+type Calibration struct {
+	Schema  string                      `json:"schema"`
+	Methods map[string]method.CostModel `json:"methods"`
+}
+
+// Validate checks structural integrity.
+func (c *Calibration) Validate() error {
+	if c.Schema != Schema {
+		return fmt.Errorf("plan: schema %q, want %q", c.Schema, Schema)
+	}
+	if len(c.Methods) == 0 {
+		return fmt.Errorf("plan: calibration has no methods")
+	}
+	for name, m := range c.Methods {
+		if _, ok := method.Lookup(name); !ok {
+			return fmt.Errorf("plan: calibration for unregistered method %q", name)
+		}
+		if m.Setup < 0 || m.PerItem < 0 || m.PerDim < 0 || m.PrunePrior < 0 || m.PrunePrior > 1 {
+			return fmt.Errorf("plan: calibration for %q has out-of-range coefficients %+v", name, m)
+		}
+	}
+	return nil
+}
+
+// Encode renders the calibration as a fexsnap container.
+func (c *Calibration) Encode() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	var b snap.Builder
+	b.Raw(SectionTag, payload)
+	var buf bytes.Buffer
+	if err := b.Flush(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a fexsnap container produced by Encode. Unknown extra
+// sections are tolerated (forward compatibility); a missing plan.cal
+// section or a schema mismatch is an error.
+func Decode(raw []byte) (*Calibration, error) {
+	f, err := snap.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	payload, ok := f.Section(SectionTag)
+	if !ok {
+		return nil, fmt.Errorf("plan: no %q section", SectionTag)
+	}
+	var c Calibration
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return nil, fmt.Errorf("plan: decoding calibration: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WriteFile persists the calibration atomically (temp + fsync +
+// rename), the same durability idiom as core.WriteSnapshotDir.
+func WriteFile(path string, c *Calibration) error {
+	raw, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".plan-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a calibration written by WriteFile.
+func ReadFile(path string) (*Calibration, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}

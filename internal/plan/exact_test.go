@@ -1,0 +1,22 @@
+package plan_test
+
+import (
+	"testing"
+
+	"fexipro/internal/method"
+	"fexipro/internal/searchtest"
+)
+
+// TestPlannerExactAutoPool runs the planner delegation harness over the
+// registry's default auto candidates — the pool fexserve/fexquery
+// `-method auto` actually serves with.
+func TestPlannerExactAutoPool(t *testing.T) {
+	searchtest.CheckPlannerExact(t, method.AutoNames(), "planner/auto")
+}
+
+// TestPlannerExactMixedPool widens the pool across structurally
+// different methods (blocked scan, tree, pruned scan, full FEXIPRO
+// index) so delegation identity is checked against every kernel shape.
+func TestPlannerExactMixedPool(t *testing.T) {
+	searchtest.CheckPlannerExact(t, []string{"Naive", "BallTree", "SS-L", "F-SIR"}, "planner/mixed")
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"fexipro/internal/method"
+)
+
+// Sample is one measured query (or averaged batch of queries) for the
+// offline fit: the workload features plus the observed per-query wall
+// time and pruning fraction.
+type Sample struct {
+	N, D, K         int
+	Shards, Workers int
+	// PruneFrac is the observed fraction of items pruned before a full
+	// product (search.Stats.TotalPruned / N).
+	PruneFrac float64
+	// Seconds is the observed per-query wall time.
+	Seconds float64
+}
+
+// Fit solves the cost model's three linear coefficients by ordinary
+// least squares over the samples:
+//
+//	seconds ≈ Setup + (PerItem·n + PerDim·survivors·d) / parallelism
+//
+// is linear in (Setup, PerItem, PerDim) once the observed pruning
+// fraction fixes survivors, so the normal equations are a 3×3 solve. A
+// tiny ridge term keeps the system well-posed when a sweep does not
+// vary a feature (e.g. single dimension), and negative coefficients —
+// physically meaningless, an artifact of collinear sweeps — are clamped
+// to zero. PrunePrior becomes the mean observed pruning fraction.
+func Fit(samples []Sample) (method.CostModel, error) {
+	if len(samples) < 3 {
+		return method.CostModel{}, fmt.Errorf("plan: fit needs ≥ 3 samples, got %d", len(samples))
+	}
+	var ata [3][3]float64
+	var aty [3]float64
+	var pruneSum float64
+	for _, s := range samples {
+		f := method.Features{N: s.N, D: s.D, K: s.K, Shards: s.Shards, Workers: s.Workers}
+		par := f.Parallelism()
+		prune := math.Max(0, math.Min(1, s.PruneFrac))
+		pruneSum += prune
+		x := [3]float64{
+			1,
+			float64(s.N) / par,
+			(1 - prune) * float64(s.N) * float64(s.D) / par,
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				ata[i][j] += x[i] * x[j]
+			}
+			aty[i] += x[i] * s.Seconds
+		}
+	}
+	// Ridge scaled to each diagonal entry so it regularizes without
+	// drowning the data regardless of feature magnitudes.
+	for i := 0; i < 3; i++ {
+		ata[i][i] += 1e-9 * (ata[i][i] + 1)
+	}
+	w, err := solve3(ata, aty)
+	if err != nil {
+		return method.CostModel{}, err
+	}
+	m := method.CostModel{
+		Setup:      math.Max(0, w[0]),
+		PerItem:    math.Max(0, w[1]),
+		PerDim:     math.Max(0, w[2]),
+		PrunePrior: pruneSum / float64(len(samples)),
+	}
+	return m, nil
+}
+
+// solve3 is Gaussian elimination with partial pivoting for the 3×3
+// normal equations.
+func solve3(a [3][3]float64, b [3]float64) ([3]float64, error) {
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-30 {
+			return [3]float64{}, fmt.Errorf("plan: singular fit system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for r := 2; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < 3; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return [3]float64{}, fmt.Errorf("plan: non-finite fit solution")
+		}
+	}
+	return x, nil
+}

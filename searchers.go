@@ -3,14 +3,13 @@ package fexipro
 import (
 	"context"
 
-	"fexipro/internal/balltree"
 	"fexipro/internal/batch"
 	"fexipro/internal/core"
-	"fexipro/internal/covertree"
 	"fexipro/internal/engine"
 	"fexipro/internal/lemp"
-	"fexipro/internal/pcatree"
-	"fexipro/internal/scan"
+	"fexipro/internal/method"
+	"fexipro/internal/search"
+	"fexipro/internal/vec"
 )
 
 // Options selects FEXIPRO's techniques and parameters. The zero value is
@@ -168,44 +167,107 @@ func (f *FEXIPRO) TopKAllContext(ctx context.Context, queries *Matrix, k, worker
 
 var _ Searcher = (*FEXIPRO)(nil)
 
+// Methods lists every retrieval method registered in this build, in
+// registry order (the paper's table order with off-table methods
+// interleaved). Any of these names — or their aliases, case-insensitive
+// — works with NewMethod and PlannerOptions.Methods.
+func Methods() []string { return method.Names() }
+
+// MethodOptions tunes NewMethod. The zero value selects each method's
+// documented defaults; fields a method does not use are ignored.
+type MethodOptions struct {
+	// SampleQueries drives LEMP-style checking-dimension tuning for
+	// SS-L and LEMP (optional, may be nil).
+	SampleQueries *Matrix
+	// W is SS's checking dimension, or the FEXIPRO family's override for
+	// the ρ-derived one (0 = derive).
+	W int
+	// Rho, E, CompactInts are the FEXIPRO family's preprocessing
+	// parameters (zero values = paper defaults).
+	Rho, E      float64
+	CompactInts bool
+	// LeafSize bounds tree leaves for BallTree/FastMKS/PCATree (0 = 20).
+	LeafSize int
+	// BucketSize is LEMP's norm-bucket size (0 = default).
+	BucketSize int
+	// SpillFraction is PCATree's spill overlap (0 = none).
+	SpillFraction float64
+	// Shards > 1 partitions the index and answers each query through the
+	// sharded execution engine with Workers goroutines (DESIGN.md §11).
+	Shards, Workers int
+}
+
+func (o MethodOptions) internal() method.BuildOptions {
+	bo := method.BuildOptions{
+		W: o.W, Rho: o.Rho, E: o.E, CompactInts: o.CompactInts,
+		LeafSize: o.LeafSize, BucketSize: o.BucketSize, SpillFraction: o.SpillFraction,
+	}
+	if o.SampleQueries != nil {
+		bo.SampleQueries = o.SampleQueries.m
+	}
+	return bo
+}
+
+// NewMethod builds any registered retrieval method by name (see
+// Methods), resolving through the same registry as every tool in this
+// repository.
+func NewMethod(name string, items *Matrix, o MethodOptions) (Searcher, error) {
+	s, err := method.Sharded(name, items.m, o.internal(), o.Shards, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return wrap{s: s}, nil
+}
+
+// builtin builds a registry method whose descriptor cannot fail for a
+// valid matrix (the baselines below); the panic is unreachable by
+// construction.
+func builtin(name string, items *vec.Matrix, o method.BuildOptions) search.Searcher {
+	s, err := method.Build(name, items, o)
+	if err != nil {
+		panic("fexipro: " + err.Error())
+	}
+	return s
+}
+
 // NewNaive returns the exhaustive-scan baseline (items referenced, not
 // copied; do not mutate afterwards).
 func NewNaive(items *Matrix) Searcher {
-	return wrap{s: scan.NewNaive(items.m)}
+	return wrap{s: builtin("Naive", items.m, method.BuildOptions{})}
 }
 
 // NewSS returns the Cauchy–Schwarz sorted scan with incremental pruning
 // at checking dimension w (0 = default d/5).
 func NewSS(items *Matrix, w int) Searcher {
-	return wrap{s: scan.NewSS(items.m, w)}
+	return wrap{s: builtin("SS", items.m, method.BuildOptions{W: w})}
 }
 
 // NewSSL returns SS-L, the LEMP-style normalized-vector scan baseline.
 // sampleQueries (optional, may be nil) drives LEMP-style w tuning.
 func NewSSL(items *Matrix, sampleQueries *Matrix) Searcher {
-	opts := scan.SSLOptions{}
+	o := method.BuildOptions{}
 	if sampleQueries != nil {
-		opts.SampleQueries = sampleQueries.m
+		o.SampleQueries = sampleQueries.m
 	}
-	return wrap{s: scan.NewSSL(items.m, opts)}
+	return wrap{s: builtin("SS-L", items.m, o)}
 }
 
 // NewBallTree returns the BallTree exact MIPS baseline of Ram & Gray
 // (leafSize 0 = the paper's 20).
 func NewBallTree(items *Matrix, leafSize int) Searcher {
-	return wrap{s: balltree.New(items.m, leafSize)}
+	return wrap{s: builtin("BallTree", items.m, method.BuildOptions{LeafSize: leafSize})}
 }
 
 // NewFastMKS returns the cover-tree max-kernel baseline (leafSize 0 =
 // default 20).
 func NewFastMKS(items *Matrix, leafSize int) Searcher {
-	return wrap{s: covertree.New(items.m, leafSize)}
+	return wrap{s: builtin("FastMKS", items.m, method.BuildOptions{LeafSize: leafSize})}
 }
 
 // NewPCATree returns the APPROXIMATE PCA-tree baseline of Bachrach et
 // al.; spillFraction > 0 trades speed for quality.
 func NewPCATree(items *Matrix, leafSize int, spillFraction float64) Searcher {
-	return wrap{s: pcatree.New(items.m, pcatree.Options{LeafSize: leafSize, SpillFraction: spillFraction})}
+	return wrap{s: builtin("PCATree", items.m, method.BuildOptions{LeafSize: leafSize, SpillFraction: spillFraction})}
 }
 
 // LEMP is the batch top-k join engine (Teflioudi et al.).
@@ -216,11 +278,13 @@ type LEMP struct {
 // NewLEMP indexes items for batch retrieval. sampleQueries (optional)
 // tunes each bucket's checking dimension.
 func NewLEMP(items *Matrix, bucketSize int, sampleQueries *Matrix) *LEMP {
-	opts := lemp.Options{BucketSize: bucketSize}
+	o := method.BuildOptions{BucketSize: bucketSize}
 	if sampleQueries != nil {
-		opts.SampleQueries = sampleQueries.m
+		o.SampleQueries = sampleQueries.m
 	}
-	return &LEMP{idx: lemp.New(items.m, opts)}
+	// The registry returns LEMP as a generic Searcher; the public LEMP
+	// type keeps the concrete index for its batch TopKJoin API.
+	return &LEMP{idx: builtin("LEMP", items.m, o).(*lemp.Index)}
 }
 
 // Search implements Searcher for a single query.
