@@ -46,11 +46,13 @@ vet:
 ## stage-counter discipline, RNG seeding, discarded errors, mutex/atomic
 ## copies, cancellable scan loops, kernel threshold contracts, lock-hold
 ## discipline, //fex:hot allocation freedom, Search⇄SearchContext
-## parity). Exits 0 clean / 1 findings / 2 load error; findings in
-## .fexlint-baseline.json are suppressed-and-counted, anything new
-## fails. See DESIGN.md §12 "Static contracts".
+## parity, lock-order deadlock candidates, goroutine join edges,
+## //fex:guard field enforcement). Exits 0 clean / 1 findings / 2 load
+## error; findings in .fexlint-baseline.json are suppressed-and-counted,
+## anything new fails, and -check-baseline fails on baseline rot (dead
+## entries whose findings no longer fire). See DESIGN.md §12.
 lint:
-	$(GO) run ./cmd/fexlint ./...
+	$(GO) run ./cmd/fexlint -check-baseline ./...
 
 ## lint-race: the lint driver's own tests under the race detector — the
 ## parallel loader (single-flight import cache, serialized stdlib

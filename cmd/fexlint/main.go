@@ -6,7 +6,8 @@
 // Usage:
 //
 //	fexlint [-json] [-fix] [-analyzers a,b,...] [-baseline FILE]
-//	        [-write-baseline] [patterns...]
+//	        [-write-baseline] [-check-baseline] [-timings] [-budget D]
+//	        [patterns...]
 //	fexlint -perf [-perf-facts FILE] [patterns...]
 //	fexlint -write-perf-facts [-perf-facts FILE] [patterns...]
 //
@@ -38,7 +39,18 @@
 // baseline). Matching findings are suppressed and counted instead of
 // reported, so legacy debt is visible without failing the build, while
 // anything new still exits 1. -write-baseline records the current
-// findings to that file and exits 0 — the adoption entry point.
+// findings to that file and exits 0 — the adoption entry point; because
+// the file is rebuilt from scratch, entries whose findings no longer
+// fire are pruned (and the prune count reported). -check-baseline
+// exits 1 when the baseline holds dead entries — findings that no
+// longer fire — so `make lint` forces the file to shrink as debt is
+// burned down instead of rotting.
+//
+// -timings prints a per-analyzer cost table to stderr (unit-phase CPU
+// time and module-phase wall clock). -budget D fails the run (exit 1)
+// when total analysis wall clock — load plus analyzers — exceeds the
+// duration D; CI pins this so an accidentally quadratic analyzer shows
+// up as a red build, not a slowly creeping lint step.
 //
 // -json emits one object:
 //
@@ -71,6 +83,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"fexipro/internal/lint"
 	"fexipro/internal/lint/perfgate"
@@ -87,7 +100,10 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place")
 	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (default: <module>/.fexlint-baseline.json)")
-	writeBaseline := fs.Bool("write-baseline", false, "record current findings to the baseline file and exit 0")
+	writeBaseline := fs.Bool("write-baseline", false, "record current findings to the baseline file (pruning dead entries) and exit 0")
+	checkBaseline := fs.Bool("check-baseline", false, "fail if the baseline contains entries no current finding matches")
+	timings := fs.Bool("timings", false, "print per-analyzer wall-clock timings to stderr")
+	budget := fs.Duration("budget", 0, "fail if analysis (load + run) exceeds this wall-clock ceiling")
 	perf := fs.Bool("perf", false, "run the compiler-fact perf gate instead of the analyzers")
 	writePerfFacts := fs.Bool("write-perf-facts", false, "regenerate the perf-facts manifest and exit 0")
 	perfFactsPath := fs.String("perf-facts", "", "perf-facts manifest (default: <module>/.fexperf-facts.json)")
@@ -127,6 +143,7 @@ func run(args []string) int {
 		return runPerfGate(root, *perfFactsPath, *writePerfFacts, fs.Args())
 	}
 
+	analysisStart := time.Now()
 	units, err := loader.Load(fs.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fexlint:", err)
@@ -143,15 +160,15 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := lint.Run(units, analyzers)
-
-	if *writeBaseline {
-		if err := lint.WriteBaseline(*baselinePath, root, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "fexlint:", err)
-			return 2
-		}
-		fmt.Fprintf(os.Stderr, "fexlint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
-		return 0
+	diags, perAnalyzer := lint.RunTimed(units, analyzers)
+	elapsed := time.Since(analysisStart)
+	if *timings {
+		printTimings(perAnalyzer, elapsed)
+	}
+	overBudget := *budget > 0 && elapsed > *budget
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "fexlint: analysis took %v, over the %v budget — profile with -timings and trim the slow analyzer\n",
+			elapsed.Round(time.Millisecond), *budget)
 	}
 
 	baseline, err := lint.LoadBaseline(*baselinePath)
@@ -159,6 +176,29 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "fexlint:", err)
 		return 2
 	}
+	dead := baseline.Dead(root, diags)
+
+	if *writeBaseline {
+		if err := lint.WriteBaseline(*baselinePath, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "fexlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fexlint: wrote %d finding(s) to %s", len(diags), *baselinePath)
+		if n := deadCount(dead); n > 0 {
+			fmt.Fprintf(os.Stderr, " (pruned %d dead entr%s)", n, plural(n, "y", "ies"))
+		}
+		fmt.Fprintln(os.Stderr)
+		return 0
+	}
+
+	deadFound := *checkBaseline && len(dead) > 0
+	if deadFound {
+		for _, e := range dead {
+			fmt.Fprintf(os.Stderr, "fexlint: dead baseline entry: %s: %s: %s (count %d) — no current finding matches; rewrite with -write-baseline\n",
+				e.File, e.Analyzer, e.Message, e.Count)
+		}
+	}
+
 	diags, suppressed := baseline.Filter(root, diags)
 
 	if *fix {
@@ -212,10 +252,38 @@ func run(args []string) int {
 			fmt.Printf("%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 		}
 	}
-	if len(diags) > 0 {
+	if len(diags) > 0 || deadFound || overBudget {
 		return 1
 	}
 	return 0
+}
+
+// printTimings renders the -timings table: per-analyzer unit-phase CPU
+// time and module-phase wall clock, plus total analysis wall clock
+// (load + run), which is what -budget meters.
+func printTimings(ts []lint.Timing, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr, "%-14s %12s %12s\n", "analyzer", "unit(cpu)", "module")
+	for _, t := range ts {
+		fmt.Fprintf(os.Stderr, "%-14s %12s %12s\n", t.Analyzer,
+			t.Unit.Round(time.Microsecond), t.Module.Round(time.Microsecond))
+	}
+	fmt.Fprintf(os.Stderr, "total wall clock (load + run): %v\n", elapsed.Round(time.Millisecond))
+}
+
+// deadCount sums the unused finding slots across dead baseline entries.
+func deadCount(dead []lint.BaselineEntry) int {
+	n := 0
+	for _, e := range dead {
+		n += e.Count
+	}
+	return n
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // runPerfGate is the -perf / -write-perf-facts entry point. It shares

@@ -43,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -87,13 +88,12 @@ func main() {
 	defer stop()
 
 	base := *target
+	shutdown := func() {}
 	if base == "" {
-		var shutdown func()
 		base, shutdown, err = startInProcess(*items, *dim, *variant, *shards, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		defer shutdown()
 		fmt.Fprintf(os.Stderr, "fexload: in-process fexserve at %s (%d items, dim %d, %s, %d shard(s))\n",
 			base, *items, *dim, *variant, *shards)
 	}
@@ -115,6 +115,10 @@ func main() {
 		SLOs:        slos,
 		Seed:        *seed,
 	})
+	// The run is over: join the in-process server before any reporting,
+	// so the -slojson file is written only once every goroutine this
+	// process started has finished (load.Run joins its own senders).
+	shutdown()
 	if err != nil {
 		fatal(err)
 	}
@@ -171,11 +175,22 @@ func startInProcess(items, dim int, variant string, shards int, seed int64) (str
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = hs.Serve(ln) }()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = hs.Serve(ln)
+	}()
+	var once sync.Once
 	shutdown := func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = hs.Shutdown(ctx)
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+			// Join the Serve goroutine: Shutdown returning only means
+			// listeners are closed and conns drained; Serve's return is
+			// the goroutine's actual exit edge.
+			<-served
+		})
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
 }

@@ -83,8 +83,35 @@ func (b *Baseline) Filter(root string, diags []Diagnostic) ([]Diagnostic, int) {
 	return kept, suppressed
 }
 
+// Dead returns the baseline entries (with Count reduced to the unused
+// portion) that no current finding matches: rot that `-write-baseline`
+// would prune and `-check-baseline` fails on. A baseline entry is live
+// only while the finding it grandfathers still fires.
+func (b *Baseline) Dead(root string, diags []Diagnostic) []BaselineEntry {
+	if b == nil || len(b.Entries) == 0 {
+		return nil
+	}
+	current := make(map[baselineKey]int)
+	for _, d := range diags {
+		current[baselineKey{d.Analyzer, relPath(root, d.File), d.Message}]++
+	}
+	var dead []BaselineEntry
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if unused := e.Count - current[k]; unused > 0 {
+			d := e
+			d.Count = unused
+			dead = append(dead, d)
+		}
+		current[k] -= e.Count // later duplicate entries see the remainder
+	}
+	return dead
+}
+
 // WriteBaseline records diags (relativized against root) as a baseline
-// file with deterministic ordering, so the file diffs cleanly.
+// file with deterministic ordering, so the file diffs cleanly. The file
+// is rebuilt from the current findings alone, so entries whose findings
+// no longer fire are pruned — rewriting is also the rot-removal path.
 func WriteBaseline(path, root string, diags []Diagnostic) error {
 	counts := make(map[baselineKey]int)
 	for _, d := range diags {

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// conc.go holds the concurrency-model helpers shared by the lockhold,
+// lockorder, goroutinelife, and guardedby analyzers: classifying sync
+// primitives, flattening receiver chains, pairing Lock/Unlock events
+// into lexical held regions, and resolving a mutex expression to its
+// canonical whole-program name.
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call observed in a
+// function body, in source order.
+type lockEvent struct {
+	path    string   // flattened receiver chain, e.g. "s.mu"
+	name    string   // Lock, RLock, Unlock, RUnlock
+	expr    ast.Expr // the mutex expression (receiver of the call)
+	pos     token.Pos
+	selPos  token.Pos // position of the method name ident
+	defered bool
+}
+
+// lockRegion is one lexical held span: from a Lock/RLock to its
+// matching release (or to the body end when the release is deferred).
+type lockRegion struct {
+	path   string   // flattened receiver chain, e.g. "s.mu"
+	expr   ast.Expr // the mutex expression at the Lock site
+	read   bool     // RLock
+	pos    token.Pos
+	end    token.Pos
+	defers bool // released via defer (region runs to body end)
+}
+
+// covers reports whether p falls strictly inside the held span.
+func (r lockRegion) covers(p token.Pos) bool {
+	return r.pos < p && p < r.end
+}
+
+// collectLockEvents walks body for mutex Lock/RLock/Unlock/RUnlock
+// calls in source order. Function literals are skipped — they run on
+// their own schedule, not inside the enclosing held region.
+func collectLockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		defered := false
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			call = s.Call
+			defered = true
+		case *ast.CallExpr:
+			call = s
+		default:
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return true
+		}
+		if !isMutexType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		path := flattenChain(sel.X)
+		if path == "" {
+			return true
+		}
+		events = append(events, lockEvent{
+			path: path, name: sel.Sel.Name, expr: sel.X,
+			pos: call.Pos(), selPos: sel.Sel.Pos(), defered: defered,
+		})
+		return !defered // a DeferStmt's call was handled; skip re-visiting it
+	})
+	return events
+}
+
+// pairLockRegions matches each Lock/RLock event to its positionally
+// next same-path release, producing the lexical held regions plus the
+// two shapes lockhold diagnoses: defer-Lock typos and unmatched locks.
+func pairLockRegions(events []lockEvent, bodyEnd token.Pos) (regions []lockRegion, deferTypos, unmatched []lockEvent) {
+	used := make([]bool, len(events))
+	for i, ev := range events {
+		switch ev.name {
+		case "Lock", "RLock":
+			if ev.defered {
+				deferTypos = append(deferTypos, ev)
+				continue
+			}
+			region := lockRegion{path: ev.path, expr: ev.expr, read: ev.name == "RLock", pos: ev.pos, end: bodyEnd}
+			unlock := "Unlock"
+			if ev.name == "RLock" {
+				unlock = "RUnlock"
+			}
+			matched := false
+			for j := i + 1; j < len(events); j++ {
+				if used[j] || events[j].path != ev.path || events[j].name != unlock {
+					continue
+				}
+				used[j] = true
+				matched = true
+				if events[j].defered {
+					region.defers = true // runs to body end
+				} else {
+					region.end = events[j].pos
+				}
+				break
+			}
+			if !matched {
+				unmatched = append(unmatched, ev)
+				continue
+			}
+			regions = append(regions, region)
+		case "Unlock", "RUnlock":
+			// Matched from the Lock side; stray unlocks (no earlier lock)
+			// are cross-function handoffs — out of scope.
+		}
+	}
+	return regions, deferTypos, unmatched
+}
+
+// globalLockName resolves a mutex expression to its canonical
+// whole-program name: "pkg.Type.field" for struct-field mutexes (the
+// shape every shared lock in this tree has) and "pkg.var" for
+// package-level mutex variables. Locals, map entries, and call results
+// return "" — they cannot participate in a global ordering.
+func globalLockName(pass *Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if named := namedRecv(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// Qualified package-level var: pkg.someMu.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Name() + "." + x.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// namedRecv peels pointers (and aliases) off a receiver type down to
+// its named form, or nil.
+func namedRecv(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMutexType matches sync.Mutex / sync.RWMutex (or pointers to them);
+// named types embedding them are out of scope by design — every shared
+// lock in this tree is a plain field.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isWaitGroupType matches sync.WaitGroup (or a pointer to it).
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// flattenChain renders an ident/selector chain ("s.mu"); returns "" for
+// anything more exotic (map index, call result), which the analyzers
+// skip rather than misjudge.
+func flattenChain(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := flattenChain(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return flattenChain(x.X)
+	}
+	return ""
+}
+
+// funcFullName renders a function or method object in the canonical
+// cross-package form go/types uses (e.g.
+// "(*fexipro/internal/snap.WAL).Append"), the join key between call
+// facts and acquisition facts.
+func funcFullName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

@@ -190,11 +190,6 @@ func isKernelScanDecl(pass *Pass, fd *ast.FuncDecl) bool {
 	return isContextType(pass.TypeOf(fd.Type.Params.List[0].Type))
 }
 
-// isContextType reports whether t is context.Context.
-func isContextType(t types.Type) bool {
-	return t != nil && t.String() == "context.Context"
-}
-
 // checkScanLoops flags every unsatisfied scan loop in fd. A loop that
 // calls into other packages is not condemned locally: its candidate
 // callees are exported as a pending fact and judged in the module phase

@@ -305,6 +305,90 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineDead exercises rot detection: entries whose findings no
+// longer fire surface through Dead with the unused count, and a fully
+// live baseline reports none.
+func TestBaselineDead(t *testing.T) {
+	units := loadFixture(t, "lockhold")
+	diags := Run(units, []*Analyzer{LockHold})
+	if len(diags) == 0 {
+		t.Fatal("lockhold fixture produced no diagnostics")
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "lockhold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every entry is backed by a live finding: no rot.
+	if dead := b.Dead(root, diags); len(dead) != 0 {
+		t.Fatalf("fully live baseline reported dead entries: %v", dead)
+	}
+
+	// Drop one finding: exactly its entry (count 1) must go dead.
+	dead := b.Dead(root, diags[1:])
+	if len(dead) != 1 || dead[0].Count != 1 {
+		t.Fatalf("dropping one finding: dead=%v, want one entry with count 1", dead)
+	}
+	gone := diags[0]
+	if dead[0].Analyzer != gone.Analyzer || dead[0].Message != gone.Message ||
+		dead[0].File != relPath(root, gone.File) {
+		t.Fatalf("dead entry %+v does not match dropped finding %+v", dead[0], gone)
+	}
+
+	// An inflated count goes partially dead: only the unused portion.
+	inflated := &Baseline{Entries: []BaselineEntry{{
+		Analyzer: gone.Analyzer,
+		File:     relPath(root, gone.File),
+		Message:  gone.Message,
+		Count:    3,
+	}}}
+	dead = inflated.Dead(root, []Diagnostic{gone})
+	if len(dead) != 1 || dead[0].Count != 2 {
+		t.Fatalf("inflated count: dead=%v, want one entry with count 2", dead)
+	}
+
+	// Empty and nil baselines never report rot.
+	if dead := (&Baseline{}).Dead(root, nil); dead != nil {
+		t.Fatalf("empty baseline reported dead entries: %v", dead)
+	}
+}
+
+// TestRunTimed checks the -timings data source: one Timing per
+// analyzer in registration order, with identical diagnostics to Run.
+func TestRunTimed(t *testing.T) {
+	units := loadFixture(t, "lockorder")
+	analyzers := []*Analyzer{LockHold, LockOrder}
+	diags, timings := RunTimed(units, analyzers)
+	if len(timings) != len(analyzers) {
+		t.Fatalf("got %d timings for %d analyzers", len(timings), len(analyzers))
+	}
+	for i, a := range analyzers {
+		if timings[i].Analyzer != a.Name {
+			t.Fatalf("timing %d is %q, want %q (registration order)", i, timings[i].Analyzer, a.Name)
+		}
+		if timings[i].Unit < 0 || timings[i].Module < 0 {
+			t.Fatalf("negative duration in %+v", timings[i])
+		}
+	}
+	// LockOrder has a module phase that did real work on this fixture.
+	if timings[1].Module == 0 {
+		t.Fatal("lockorder module phase reported zero duration")
+	}
+	plain := Run(units, analyzers)
+	if len(plain) != len(diags) {
+		t.Fatalf("Run and RunTimed disagree: %d vs %d diagnostics", len(plain), len(diags))
+	}
+}
+
 // TestLoaderParallelImports loads the whole lint package tree twice
 // through one loader from concurrent goroutines; under -race this
 // exercises the single-flight import cache and the serialized stdlib

@@ -25,6 +25,9 @@ var fixtureCases = []struct {
 	{KernelContract, "kernelcontract"},
 	{KernelContract, "kernelcontract_uncovered"},
 	{LockHold, "lockhold"},
+	{LockOrder, "lockorder"},
+	{GoroutineLife, "goroutinelife"},
+	{GuardedBy, "guardedby"},
 	{HotAlloc, "hotalloc"},
 	{APIParity, "apiparity"},
 	{BoundFlow, "boundflow"},
@@ -198,8 +201,8 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerRegistry checks All()/ByName round-trips.
 func TestAnalyzerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 analyzers, got %d", len(all))
+	if len(all) != 15 {
+		t.Fatalf("expected 15 analyzers, got %d", len(all))
 	}
 	names := make([]string, len(all))
 	for i, a := range all {

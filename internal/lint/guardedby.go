@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GuardedBy enforces field↔mutex ownership contracts (DESIGN.md §12).
+// A struct field annotated `//fex:guard mu` (where mu is a sync.Mutex
+// or sync.RWMutex sibling field) may only be read while mu is held (in
+// either mode) and written while mu is write-held — the analyzer checks
+// every access in the module against the lexical held regions of the
+// accessing function, so the contract survives refactors that move
+// code out from under the lock.
+//
+// Accesses are exempt when the receiver convention already encodes the
+// contract: methods whose name ends in Locked (the caller holds the
+// lock, by this tree's naming convention) and objects still local to
+// their constructor (assigned from a composite literal or new() in the
+// same function — not yet shared, so not yet racy). Everything else
+// needs the lock or a `//lint:ignore guardedby` with the rationale.
+//
+// Unannotated fields are seeded by inference: a field of a
+// mutex-bearing struct whose every write (≥2 of them) happens under
+// exactly one sibling mutex, with no unlocked writes anywhere in the
+// module, is reported with a SuggestedFix inserting the annotation —
+// `fexlint -fix` turns the observed discipline into an enforced one.
+//
+// Annotations live in the owning package but accesses happen anywhere,
+// so field metadata and access records travel as Facts and are joined
+// in the module phase. Test files are skipped.
+var GuardedBy = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "//fex:guard mu field contracts: guarded accesses must hold the mutex; disciplined fields get suggested annotations",
+	Run:       runGuardedByUnit,
+	RunModule: runGuardedByModule,
+}
+
+const guardDirective = "//fex:guard"
+
+func runGuardedByUnit(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.TYPE {
+					for _, spec := range d.Specs {
+						exportGuardFields(pass, spec.(*ast.TypeSpec))
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				obj := pass.Info.Defs[d.Name]
+				if obj == nil {
+					continue
+				}
+				ctx := funcFullName(obj)
+				var recv types.Object
+				if fn, ok := obj.(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						recv = sig.Recv()
+					}
+				}
+				lockedFn := strings.HasSuffix(d.Name.Name, "Locked")
+				guardWalk(pass, ctx, d.Body, lockedFn, recv)
+				var lits []*ast.FuncLit
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						lits = append(lits, fl)
+					}
+					return true
+				})
+				for i, fl := range lits {
+					// Literals run on their own schedule: no inherited
+					// held regions and no Locked-convention exemption.
+					guardWalk(pass, fmt.Sprintf("%s$%d", ctx, i+1), fl.Body, false, nil)
+				}
+			}
+		}
+	}
+}
+
+// exportGuardFields validates //fex:guard annotations on one struct
+// declaration and exports a "field" fact for every guardable field
+// (structs with at least one mutex sibling), carrying the annotation
+// state and the insertion point for a suggested one.
+func exportGuardFields(pass *Pass, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	var mutexes []string
+	for _, f := range st.Fields.List {
+		if isMutexType(pass.TypeOf(f.Type)) {
+			for _, n := range f.Names {
+				mutexes = append(mutexes, n.Name)
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		guard := parseGuardDirective(f)
+		isMutex := isMutexType(pass.TypeOf(f.Type))
+		if guard != "" {
+			switch {
+			case isMutex:
+				pass.Reportf(f.Pos(), "//fex:guard on %s.%s, which is itself a mutex — guard data fields, not locks", ts.Name.Name, fieldNames(f))
+				continue
+			case !slicesContains(mutexes, guard):
+				pass.Reportf(f.Pos(), "//fex:guard %s on %s.%s names no sync.Mutex/RWMutex sibling field of %s", guard, ts.Name.Name, fieldNames(f), ts.Name.Name)
+				continue
+			}
+		}
+		if len(mutexes) == 0 || isMutex || len(f.Names) == 0 {
+			continue // embedded fields and mutex-free structs are out of scope
+		}
+		p := pass.Fset.Position(f.Pos())
+		lineStart := p.Offset - (p.Column - 1)
+		if guard == "" {
+			guard = "-"
+		}
+		for _, n := range f.Names {
+			key := pass.Pkg.Name() + "." + ts.Name.Name + "." + n.Name
+			pass.ExportFact(n.Pos(), "field", strings.Join([]string{
+				key, strings.Join(mutexes, ","), guard,
+				strconv.Itoa(lineStart), strconv.Itoa(p.Column - 1),
+			}, lockOrderSep))
+		}
+	}
+}
+
+// parseGuardDirective returns the guard field named by a //fex:guard
+// comment attached to f (doc line or trailing comment), or "".
+func parseGuardDirective(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), guardDirective); ok {
+				rest, _, _ = strings.Cut(rest, "//")
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+func fieldNames(f *ast.Field) string {
+	names := make([]string, len(f.Names))
+	for i, n := range f.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// guardWalk records every access to a field of a mutex-bearing struct
+// in one function context, together with the held state of each mutex
+// sibling at the access point, as "access" facts for the module join.
+func guardWalk(pass *Pass, ctx string, body *ast.BlockStmt, lockedFn bool, recv types.Object) {
+	events := collectLockEvents(pass, body)
+	regions, _, unmatched := pairLockRegions(events, body.End())
+	for _, ev := range unmatched {
+		regions = append(regions, lockRegion{path: ev.path, expr: ev.expr, read: ev.name == "RLock", pos: ev.pos, end: body.End()})
+	}
+	local := locallyConstructed(pass, body)
+
+	writes := make(map[ast.Expr]bool)
+	markWrite := func(e ast.Expr) { writes[ast.Unparen(e)] = true }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markWrite(s.X)
+			}
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				markWrite(s.Key)
+			}
+			if s.Value != nil {
+				markWrite(s.Value)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok || isMutexType(field.Type()) {
+			return true
+		}
+		named := namedRecv(selection.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		strct, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return true
+		}
+		var mutexes []string
+		for i := 0; i < strct.NumFields(); i++ {
+			if f := strct.Field(i); isMutexType(f.Type()) {
+				mutexes = append(mutexes, f.Name())
+			}
+		}
+		if len(mutexes) == 0 {
+			return true
+		}
+		key := named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + field.Name()
+		kind := "r"
+		if writes[sel] {
+			kind = "w"
+		}
+		root := rootObject(pass, sel.X)
+		if (lockedFn && recv != nil && root == recv) || (root != nil && local[root]) {
+			pass.ExportFact(sel.Sel.Pos(), "access", strings.Join([]string{key, "x" + kind, "-", ctx}, lockOrderSep))
+			return true
+		}
+		base := flattenChain(sel.X)
+		statuses := make([]string, len(mutexes))
+		for i, m := range mutexes {
+			status := "none"
+			if base != "" {
+				target := base + "." + m
+				for _, r := range regions {
+					if r.path != target || !r.covers(sel.Pos()) {
+						continue
+					}
+					if !r.read {
+						status = "w"
+						break
+					}
+					status = "r"
+				}
+			}
+			statuses[i] = m + ":" + status
+		}
+		pass.ExportFact(sel.Sel.Pos(), "access", strings.Join([]string{key, kind, strings.Join(statuses, ","), ctx}, lockOrderSep))
+		return true
+	})
+}
+
+// locallyConstructed collects objects assigned from a composite literal
+// or new() in this body: they are not shared yet, so their guarded
+// fields may be initialized without the lock.
+func locallyConstructed(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	local := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			fresh := false
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				fresh = true
+			case *ast.CallExpr:
+				if fn, ok := r.Fun.(*ast.Ident); ok && fn.Name == "new" {
+					if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); isBuiltin {
+						fresh = true
+					}
+				}
+			}
+			if fresh {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					local[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// rootObject resolves the base identifier of a selector chain to its
+// object, or nil.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// guardField is the module-phase view of one guardable field.
+type guardField struct {
+	key       string
+	siblings  []string
+	guard     string // "-" when unannotated
+	pos       Fact
+	lineStart int
+	indent    int
+}
+
+func runGuardedByModule(mp *ModulePass) {
+	fields := make(map[string]*guardField)
+	type guardAccess struct {
+		kind   string
+		status map[string]string // sibling → none|r|w
+		ctx    string
+		fact   Fact
+	}
+	accesses := make(map[string][]guardAccess)
+
+	for _, f := range mp.Facts {
+		parts := strings.Split(f.Value, lockOrderSep)
+		switch f.Name {
+		case "field":
+			lineStart, _ := strconv.Atoi(parts[3])
+			indent, _ := strconv.Atoi(parts[4])
+			if _, dup := fields[parts[0]]; !dup {
+				fields[parts[0]] = &guardField{
+					key: parts[0], siblings: strings.Split(parts[1], ","),
+					guard: parts[2], pos: f, lineStart: lineStart, indent: indent,
+				}
+			}
+		case "access":
+			ga := guardAccess{kind: parts[1], ctx: parts[3], fact: f, status: make(map[string]string)}
+			if parts[2] != "-" {
+				for _, ent := range strings.Split(parts[2], ",") {
+					m, s, _ := strings.Cut(ent, ":")
+					ga.status[m] = s
+				}
+			}
+			accesses[parts[0]] = append(accesses[parts[0]], ga)
+		}
+	}
+
+	var keys []string
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		fld := fields[key]
+		prefix := key[:strings.LastIndex(key, ".")+1] // "pkg.Type."
+		if fld.guard != "-" {
+			lockName := prefix + fld.guard
+			for _, ga := range accesses[key] {
+				switch ga.kind {
+				case "w":
+					switch ga.status[fld.guard] {
+					case "w":
+					case "r":
+						mp.Reportf(ga.fact.Pos, "write to %s under RLock of %s — guarded writes need the write lock", key, lockName)
+					default:
+						mp.Reportf(ga.fact.Pos, "write to %s without holding %s (//fex:guard %s) — acquire the lock or document the exception with //lint:ignore guardedby", key, lockName, fld.guard)
+					}
+				case "r":
+					if s := ga.status[fld.guard]; s != "w" && s != "r" {
+						mp.Reportf(ga.fact.Pos, "read of %s without holding %s (//fex:guard %s) — acquire the lock or document the exception with //lint:ignore guardedby", key, lockName, fld.guard)
+					}
+				}
+			}
+			continue
+		}
+
+		// Inference: every write held exactly one sibling mutex.
+		totalW := 0
+		heldW := make(map[string]int)
+		for _, ga := range accesses[key] {
+			if ga.kind != "w" {
+				continue
+			}
+			totalW++
+			for _, m := range fld.siblings {
+				if ga.status[m] == "w" {
+					heldW[m]++
+				}
+			}
+		}
+		if totalW < 2 {
+			continue
+		}
+		var candidates []string
+		for _, m := range fld.siblings {
+			if heldW[m] == totalW {
+				candidates = append(candidates, m)
+			}
+		}
+		if len(candidates) != 1 {
+			continue
+		}
+		guard := candidates[0]
+		mp.ReportFix(fld.pos.Pos, SuggestedFix{
+			Message: fmt.Sprintf("annotate %s with //fex:guard %s", key, guard),
+			Edits: []TextEdit{{
+				File:    fld.pos.Pos.Filename,
+				Offset:  fld.lineStart,
+				End:     fld.lineStart,
+				NewText: strings.Repeat("\t", fld.indent) + guardDirective + " " + guard + "\n",
+			}},
+		}, "field %s is always written (%d×) under %s and never without it — annotate `//fex:guard %s` so the contract is enforced", key, totalW, prefix+guard, guard)
+	}
+}
+
+// slicesContains avoids importing slices for one call.
+func slicesContains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -41,6 +41,19 @@
 //     factory must route to a kernel whose package has a sharded_test.go
 //     invoking searchtest.CheckSharded — the planner may only choose
 //     among harness-covered methods (DESIGN.md §16).
+//   - lockorder:     whole-program lock-order graph over the static call
+//     graph: every nested acquisition must be declared with
+//     //fex:lockorder A < B, contradictions of the declared hierarchy
+//     are flagged, and cycles in the observed∪declared graph are
+//     reported as deadlock candidates with the full acquisition chain;
+//   - goroutinelife: every go statement needs a statically provable
+//     termination/join edge (WaitGroup Done, ctx.Done exit arm,
+//     closed-channel range, or bounded body), plus leak-on-error
+//     checks around wg.Add;
+//   - guardedby:     //fex:guard mu field contracts — guarded fields may
+//     only be accessed under their mutex, and fields whose every write
+//     already happens under exactly one mutex get the annotation
+//     suggested as a machine-applicable fix.
 //
 // The driver type-checks package directories in parallel, runs each
 // analyzer's per-unit pass concurrently across units, then runs an
@@ -67,6 +80,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // TextEdit is one byte-range replacement in a file. Offsets are byte
@@ -234,6 +248,16 @@ type ModulePass struct {
 
 // Reportf records a module-phase diagnostic at a resolved position.
 func (mp *ModulePass) Reportf(pos token.Position, format string, args ...any) {
+	mp.report(pos, nil, format, args...)
+}
+
+// ReportFix records a module-phase diagnostic carrying a
+// machine-applicable fix.
+func (mp *ModulePass) ReportFix(pos token.Position, fix SuggestedFix, format string, args ...any) {
+	mp.report(pos, []SuggestedFix{fix}, format, args...)
+}
+
+func (mp *ModulePass) report(pos token.Position, fixes []SuggestedFix, format string, args ...any) {
 	if u := mp.byFile[pos.Filename]; u != nil && u.suppressed(mp.Analyzer.Name, pos) {
 		return
 	}
@@ -244,6 +268,7 @@ func (mp *ModulePass) Reportf(pos token.Position, format string, args ...any) {
 		Line:     pos.Line,
 		Col:      pos.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
 }
 
@@ -300,9 +325,26 @@ func (u *Unit) suppressed(analyzer string, pos token.Position) bool {
 // deterministic regardless of scheduling: per-unit results land in
 // per-unit slots that are merged in unit order before the final sort.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(units, analyzers)
+	return diags
+}
+
+// Timing is one analyzer's cost over a RunTimed call. Unit is CPU time
+// summed across per-unit passes (they run in parallel, so this exceeds
+// the wall-clock share); Module is the single-threaded module phase.
+type Timing struct {
+	Analyzer string
+	Unit     time.Duration
+	Module   time.Duration
+}
+
+// RunTimed is Run with a per-analyzer cost breakdown, the data behind
+// fexlint's -timings flag and the CI latency budget.
+func RunTimed(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	type slot struct {
 		diags []Diagnostic
 		facts []Fact
+		durs  []time.Duration
 	}
 	slots := make([]slot, len(units))
 
@@ -315,7 +357,8 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			s := &slots[i]
-			for _, a := range analyzers {
+			s.durs = make([]time.Duration, len(analyzers))
+			for ai, a := range analyzers {
 				pass := &Pass{
 					Analyzer: a,
 					Fset:     u.Fset,
@@ -327,11 +370,21 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 					out:      &s.diags,
 					facts:    &s.facts,
 				}
+				start := time.Now()
 				a.Run(pass)
+				s.durs[ai] = time.Since(start)
 			}
 		}(i, u)
 	}
 	wg.Wait()
+
+	timings := make([]Timing, len(analyzers))
+	for ai, a := range analyzers {
+		timings[ai].Analyzer = a.Name
+		for i := range slots {
+			timings[ai].Unit += slots[i].durs[ai]
+		}
+	}
 
 	var out []Diagnostic
 	factsByAnalyzer := make(map[string][]Fact)
@@ -348,7 +401,7 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 			byFile[u.Fset.Position(f.Pos()).Filename] = u
 		}
 	}
-	for _, a := range analyzers {
+	for ai, a := range analyzers {
 		if a.RunModule == nil {
 			continue
 		}
@@ -359,7 +412,9 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 			byFile:   byFile,
 			out:      &out,
 		}
+		start := time.Now()
 		a.RunModule(mp)
+		timings[ai].Module = time.Since(start)
 	}
 
 	sort.Slice(out, func(i, j int) bool {
@@ -378,7 +433,7 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, timings
 }
 
 // All returns every registered analyzer, in stable order.
@@ -396,6 +451,9 @@ func All() []*Analyzer {
 		APIParity,
 		BoundFlow,
 		RegistryCover,
+		LockOrder,
+		GoroutineLife,
+		GuardedBy,
 	}
 }
 

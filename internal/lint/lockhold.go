@@ -132,117 +132,40 @@ func directBlockReason(pass *Pass, blockers map[types.Object]string, body *ast.B
 	return reason
 }
 
-// lockCall is one Lock/RLock site in a function.
-type lockCall struct {
-	path   string // flattened receiver chain, e.g. "s.mu"
-	read   bool   // RLock
-	pos    token.Pos
-	end    token.Pos // end of held region (matching unlock or func end)
-	defers bool      // released via defer (region runs to func end)
-}
-
 func checkLocks(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl) {
-	type event struct {
-		path    string
-		name    string    // Lock, RLock, Unlock, RUnlock
-		pos     token.Pos // call position
-		selPos  token.Pos // position of the method name ident
-		defered bool
-	}
-	var events []event
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		var call *ast.CallExpr
-		defered := false
-		switch s := n.(type) {
-		case *ast.DeferStmt:
-			call = s.Call
-			defered = true
-		case *ast.CallExpr:
-			call = s
-		default:
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "Lock", "RLock", "Unlock", "RUnlock":
-		default:
-			return true
-		}
-		if !isMutexType(pass.TypeOf(sel.X)) {
-			return true
-		}
-		path := flattenChain(sel.X)
-		if path == "" {
-			return true
-		}
-		events = append(events, event{path: path, name: sel.Sel.Name, pos: call.Pos(), selPos: sel.Sel.Pos(), defered: defered})
-		return !defered // a DeferStmt's call was handled; skip re-visiting it
-	})
+	events := collectLockEvents(pass, fd.Body)
 	if len(events) == 0 {
 		return
 	}
+	regions, deferTypos, unmatched := pairLockRegions(events, fd.Body.End())
 
-	var regions []lockCall
-	used := make([]bool, len(events))
-	for i, ev := range events {
-		switch ev.name {
-		case "Lock", "RLock":
-			if ev.defered {
-				// defer mu.Lock() is almost certainly a typo for Unlock.
-				want := "Unlock"
-				if ev.name == "RLock" {
-					want = "RUnlock"
-				}
-				file := pass.Fset.Position(ev.pos).Filename
-				off := pass.Offset(ev.selPos)
-				pass.ReportFix(ev.pos, SuggestedFix{
-					Message: "replace defer " + ev.path + "." + ev.name + " with defer " + ev.path + "." + want,
-					Edits: []TextEdit{{
-						File:    file,
-						Offset:  off,
-						End:     off + len(ev.name),
-						NewText: want,
-					}},
-				}, "defer %s.%s() locks at function exit — almost certainly a typo for defer %s.%s()",
-					ev.path, ev.name, ev.path, want)
-				continue
-			}
-			region := lockCall{path: ev.path, read: ev.name == "RLock", pos: ev.pos, end: fd.Body.End()}
-			unlock := "Unlock"
-			if ev.name == "RLock" {
-				unlock = "RUnlock"
-			}
-			matched := false
-			for j := i + 1; j < len(events); j++ {
-				if used[j] || events[j].path != ev.path || events[j].name != unlock {
-					continue
-				}
-				used[j] = true
-				matched = true
-				if events[j].defered {
-					region.defers = true // runs to function end
-				} else {
-					region.end = events[j].pos
-				}
-				break
-			}
-			if !matched {
-				pass.Reportf(ev.pos,
-					"%s.%s() has no matching %s in this function — if the lock is handed off across functions, document the protocol with a //lint:ignore lockhold directive",
-					ev.path, ev.name, unlock)
-				continue
-			}
-			regions = append(regions, region)
-		case "Unlock", "RUnlock":
-			// Matched from the Lock side; stray unlocks (no earlier lock)
-			// are cross-function handoffs — out of scope.
+	for _, ev := range deferTypos {
+		// defer mu.Lock() is almost certainly a typo for Unlock.
+		want := "Unlock"
+		if ev.name == "RLock" {
+			want = "RUnlock"
 		}
+		file := pass.Fset.Position(ev.pos).Filename
+		off := pass.Offset(ev.selPos)
+		pass.ReportFix(ev.pos, SuggestedFix{
+			Message: "replace defer " + ev.path + "." + ev.name + " with defer " + ev.path + "." + want,
+			Edits: []TextEdit{{
+				File:    file,
+				Offset:  off,
+				End:     off + len(ev.name),
+				NewText: want,
+			}},
+		}, "defer %s.%s() locks at function exit — almost certainly a typo for defer %s.%s()",
+			ev.path, ev.name, ev.path, want)
+	}
+	for _, ev := range unmatched {
+		unlock := "Unlock"
+		if ev.name == "RLock" {
+			unlock = "RUnlock"
+		}
+		pass.Reportf(ev.pos,
+			"%s.%s() has no matching %s in this function — if the lock is handed off across functions, document the protocol with a //lint:ignore lockhold directive",
+			ev.path, ev.name, unlock)
 	}
 
 	for _, r := range regions {
@@ -252,7 +175,7 @@ func checkLocks(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl) 
 
 // flagBlockingInRegion reports blocking operations between the lock and
 // its release.
-func flagBlockingInRegion(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl, r lockCall) {
+func flagBlockingInRegion(pass *Pass, blockers map[types.Object]string, fd *ast.FuncDecl, r lockRegion) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
 			return true
@@ -369,42 +292,6 @@ func isSlogValue(pass *Pass, e ast.Expr) bool {
 		named.Obj().Pkg().Path() == "log/slog" && named.Obj().Name() == "Logger"
 }
 
-// isMutexType matches sync.Mutex / sync.RWMutex (or pointers to them),
-// and named types embedding them is out of scope by design — the index
-// mutex is a plain field.
-func isMutexType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return false
-	}
-	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
-}
-
-// flattenChain renders an ident/selector chain ("s.mu"); returns "" for
-// anything more exotic (map index, call result), which the analyzer
-// skips rather than misjudge.
-func flattenChain(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		base := flattenChain(x.X)
-		if base == "" {
-			return ""
-		}
-		return base + "." + x.Sel.Name
-	case *ast.ParenExpr:
-		return flattenChain(x.X)
-	}
-	return ""
-}
+// isMutexType, flattenChain and the event/region machinery live in
+// conc.go, shared with the lockorder, goroutinelife and guardedby
+// analyzers.

@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fexipro/internal/lint/flow"
+)
+
+// LockOrder builds a whole-program lock-order graph and reports
+// deadlock candidates (DESIGN.md §12). Every mutex acquisition that
+// happens while another mutex is held — directly (nested Lock calls in
+// one function) or transitively (a call made under a lock reaches a
+// function that locks something else, resolved through the static call
+// graph and joined across packages via Facts) — is an ordered edge
+// A → B. The analyzer then checks three contracts over the edge set:
+//
+//   - every edge must be declared with a `//fex:lockorder A < B`
+//     annotation (lock names are the canonical pkg.Type.field form, so
+//     the hierarchy is reviewable in one grep);
+//   - no edge may contradict the declared hierarchy (B acquired under A
+//     when A < B is transitively declared the other way);
+//   - the combined observed+declared graph must be acyclic — a cycle is
+//     a deadlock candidate, reported with the full acquisition chain
+//     (e.g. server.Server.mu → snap.WAL.mu → server.Server.mu) and the
+//     call path that produces each edge;
+//   - a lock re-acquired while already held (A → A) self-deadlocks:
+//     sync mutexes are not reentrant.
+//
+// Function literals are analyzed as their own acquisition contexts
+// (they run on their own schedule — usually a goroutine — so their
+// nesting still contributes edges), but calls inside them do not extend
+// the enclosing function's call-graph summary. Test files are skipped:
+// race harnesses take locks in deliberately hostile orders.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "whole-program lock-order graph: undocumented nesting, hierarchy contradictions, deadlock cycles",
+	Run:       runLockOrderUnit,
+	RunModule: runLockOrderModule,
+}
+
+// lockOrderSep joins the fields of a lockorder fact value.
+const lockOrderSep = "|"
+
+var lockOrderDirectiveRx = "//fex:lockorder"
+
+func runLockOrderUnit(pass *Pass) {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		exportLockOrderDecls(pass, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			ctx := funcFullName(obj)
+			if ctx == "" {
+				continue
+			}
+			emitLockOrderFacts(pass, ctx, fd.Body, true)
+			var lits []*ast.FuncLit
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					lits = append(lits, fl)
+				}
+				return true
+			})
+			for i, fl := range lits {
+				emitLockOrderFacts(pass, fmt.Sprintf("%s$%d", ctx, i+1), fl.Body, false)
+			}
+		}
+	}
+}
+
+// exportLockOrderDecls parses `//fex:lockorder A < B` annotations into
+// "declare" facts and flags malformed directives.
+func exportLockOrderDecls(pass *Pass, file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if after, ok := strings.CutPrefix(text, "/*"); ok {
+				text = "//" + strings.TrimSpace(strings.TrimSuffix(after, "*/"))
+			}
+			rest, ok := strings.CutPrefix(text, lockOrderDirectiveRx)
+			if !ok {
+				continue
+			}
+			rest, _, _ = strings.Cut(rest, "//") // trailing rationale comment
+			a, b, found := strings.Cut(rest, "<")
+			a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+			if !found || a == "" || b == "" || strings.ContainsAny(a+b, " <") {
+				pass.Reportf(c.Pos(), "malformed //fex:lockorder directive %q — want //fex:lockorder pkg.Type.mu < pkg.Type.mu", strings.TrimSpace(c.Text))
+				continue
+			}
+			pass.ExportFact(c.Pos(), "declare", a+lockOrderSep+b)
+		}
+	}
+}
+
+// emitLockOrderFacts exports the acquisition facts for one body: "acq"
+// (ctx directly acquires lock), "edge" (nested acquisition under a held
+// lock), "call" (static call made while a lock is held), and — for
+// named declarations only — "fcall" (ctx statically calls callee),
+// which lets the module phase propagate acquisitions up the call graph.
+func emitLockOrderFacts(pass *Pass, ctx string, body *ast.BlockStmt, isDecl bool) {
+	events := collectLockEvents(pass, body)
+	regions, _, unmatched := pairLockRegions(events, body.End())
+	// An unmatched Lock is a cross-function handoff: the lock stays held
+	// past everything after it in this body, so treat it as a region
+	// running to the body end for ordering purposes.
+	for _, ev := range unmatched {
+		regions = append(regions, lockRegion{path: ev.path, expr: ev.expr, read: ev.name == "RLock", pos: ev.pos, end: body.End()})
+	}
+
+	names := make([]string, len(regions))
+	for i, r := range regions {
+		names[i] = globalLockName(pass, r.expr)
+		if names[i] != "" {
+			pass.ExportFact(r.pos, "acq", ctx+lockOrderSep+names[i])
+		}
+	}
+	for i, outer := range regions {
+		if names[i] == "" {
+			continue
+		}
+		for j, inner := range regions {
+			if i == j || names[j] == "" || !outer.covers(inner.pos) {
+				continue
+			}
+			pass.ExportFact(inner.pos, "edge", names[i]+lockOrderSep+names[j]+lockOrderSep+ctx)
+		}
+	}
+
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := flow.Callee(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() == "sync" {
+			return true
+		}
+		cname := funcFullName(callee)
+		if cname == "" {
+			return true
+		}
+		if isDecl {
+			if v := ctx + lockOrderSep + cname; !seen["f"+v] {
+				seen["f"+v] = true
+				pass.ExportFact(call.Pos(), "fcall", v)
+			}
+		}
+		for i, r := range regions {
+			if names[i] == "" || !r.covers(call.Pos()) {
+				continue
+			}
+			if v := names[i] + lockOrderSep + cname + lockOrderSep + ctx; !seen["c"+v] {
+				seen["c"+v] = true
+				pass.ExportFact(call.Pos(), "call", v)
+			}
+		}
+		return true
+	})
+}
+
+// loEdge is one observed lock-order edge with its provenance.
+type loEdge struct {
+	from, to string
+	pos      Fact // representative exporting fact (position + unit)
+	via      string
+}
+
+func runLockOrderModule(mp *ModulePass) {
+	direct := make(map[string]map[string]bool) // fn → locks acquired directly
+	calls := make(map[string][]string)         // fn → static callees
+	callSeen := make(map[string]bool)
+	var heldCalls []Fact // "call" facts, in deterministic order
+	var declares []Fact
+	edges := make(map[[2]string]loEdge)
+	addEdge := func(e loEdge) {
+		k := [2]string{e.from, e.to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = e
+		}
+	}
+
+	for _, f := range mp.Facts {
+		parts := strings.Split(f.Value, lockOrderSep)
+		switch f.Name {
+		case "acq":
+			if direct[parts[0]] == nil {
+				direct[parts[0]] = make(map[string]bool)
+			}
+			direct[parts[0]][parts[1]] = true
+		case "edge":
+			addEdge(loEdge{from: parts[0], to: parts[1], pos: f, via: prettyFn(parts[2])})
+		case "call":
+			heldCalls = append(heldCalls, f)
+		case "fcall":
+			if !callSeen[f.Value] {
+				callSeen[f.Value] = true
+				calls[parts[0]] = append(calls[parts[0]], parts[1])
+			}
+		case "declare":
+			declares = append(declares, f)
+		}
+	}
+
+	// Fixpoint: transAcq[fn] = locks fn acquires directly or through any
+	// chain of static calls.
+	transAcq := make(map[string]map[string]bool)
+	fns := make(map[string]bool)
+	for fn := range direct {
+		fns[fn] = true
+	}
+	for fn := range calls {
+		fns[fn] = true
+	}
+	order := sortedKeys(fns)
+	for _, fn := range order {
+		transAcq[fn] = make(map[string]bool)
+		for l := range direct[fn] {
+			transAcq[fn][l] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			for _, callee := range calls[fn] {
+				for l := range transAcq[callee] {
+					if !transAcq[fn][l] {
+						transAcq[fn][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Expand held calls into edges: a call under lock A reaching a
+	// function that (transitively) acquires B is an A → B edge.
+	for _, f := range heldCalls {
+		parts := strings.Split(f.Value, lockOrderSep)
+		held, callee, ctx := parts[0], parts[1], parts[2]
+		for _, lock := range sortedKeys(transAcq[callee]) {
+			chain := acqPath(calls, direct, callee, lock)
+			via := prettyFn(ctx)
+			for _, fn := range chain {
+				via += " → " + prettyFn(fn)
+			}
+			addEdge(loEdge{from: held, to: lock, pos: f, via: via})
+		}
+	}
+
+	knownLocks := make(map[string]bool)
+	for _, fn := range order {
+		for l := range direct[fn] {
+			knownLocks[l] = true
+		}
+	}
+
+	// Declared hierarchy, with transitive reachability for the
+	// documented / contradiction checks.
+	declared := make(map[[2]string]Fact)
+	declAdj := make(map[string][]string)
+	for _, f := range declares {
+		a, b, _ := strings.Cut(f.Value, lockOrderSep)
+		if a == b {
+			mp.Reportf(f.Pos, "//fex:lockorder declares %s < %s — a lock cannot precede itself", a, b)
+			continue
+		}
+		for _, l := range []string{a, b} {
+			if !knownLocks[l] {
+				mp.Reportf(f.Pos, "//fex:lockorder references %s, which is never acquired anywhere in the module — stale or misspelled declaration", l)
+			}
+		}
+		if _, ok := declared[[2]string{a, b}]; !ok {
+			declared[[2]string{a, b}] = f
+			declAdj[a] = append(declAdj[a], b)
+		}
+	}
+	declReach := func(a, b string) bool { return graphReaches(declAdj, a, b) }
+
+	var edgeKeys [][2]string
+	for k := range edges {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Slice(edgeKeys, func(i, j int) bool {
+		if edgeKeys[i][0] != edgeKeys[j][0] {
+			return edgeKeys[i][0] < edgeKeys[j][0]
+		}
+		return edgeKeys[i][1] < edgeKeys[j][1]
+	})
+
+	// Classify edges; contradictions and self-loops leave the cycle
+	// graph so each defect is reported exactly once.
+	adj := make(map[string][]string)
+	edgeAt := make(map[[2]string]loEdge)
+	var undocumented [][2]string
+	for _, k := range edgeKeys {
+		e := edges[k]
+		switch {
+		case e.from == e.to:
+			mp.Reportf(e.pos.Pos, "%s re-acquired while already held (%s) — sync mutexes are not reentrant; this self-deadlocks", e.from, e.via)
+		case declReach(e.to, e.from):
+			mp.Reportf(e.pos.Pos, "%s acquired while holding %s (%s) contradicts the declared hierarchy //fex:lockorder %s < %s", e.to, e.from, e.via, e.to, e.from)
+		default:
+			adj[e.from] = append(adj[e.from], e.to)
+			edgeAt[k] = e
+			if !declReach(e.from, e.to) {
+				undocumented = append(undocumented, k)
+			}
+		}
+	}
+	for k, f := range declared {
+		if _, ok := edgeAt[k]; !ok {
+			adj[k[0]] = append(adj[k[0]], k[1])
+		}
+		_ = f
+	}
+
+	// Cycles: each SCC with more than one lock is a deadlock candidate.
+	sccs := stronglyConnected(adj)
+	inCycle := make(map[string]int) // lock → scc id (only multi-node sccs)
+	for id, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		for _, l := range scc {
+			inCycle[l] = id + 1
+		}
+		reportLockCycle(mp, scc, adj, edgeAt, declared)
+	}
+
+	for _, k := range undocumented {
+		e := edgeAt[k]
+		if inCycle[e.from] != 0 && inCycle[e.from] == inCycle[e.to] {
+			continue // the cycle diagnostic owns this edge
+		}
+		mp.Reportf(e.pos.Pos, "%s acquired while holding %s (%s) — undocumented lock order; declare `//fex:lockorder %s < %s` if this hierarchy is intentional", e.to, e.from, e.via, e.from, e.to)
+	}
+}
+
+// reportLockCycle reports one deadlock-candidate cycle for an SCC: the
+// shortest cycle through the lexically-first lock, with each edge's
+// source position and call chain in the message.
+func reportLockCycle(mp *ModulePass, scc []string, adj map[string][]string, edgeAt map[[2]string]loEdge, declared map[[2]string]Fact) {
+	sort.Strings(scc)
+	inSCC := make(map[string]bool, len(scc))
+	for _, l := range scc {
+		inSCC[l] = true
+	}
+	start := scc[0]
+	// BFS from start back to start, staying inside the SCC.
+	type step struct {
+		lock string
+		prev int
+	}
+	steps := []step{{lock: start, prev: -1}}
+	seen := map[string]bool{}
+	cycleEnd := -1
+	for i := 0; i < len(steps) && cycleEnd < 0; i++ {
+		for _, next := range adj[steps[i].lock] {
+			if next == start && i > 0 {
+				steps = append(steps, step{lock: next, prev: i})
+				cycleEnd = len(steps) - 1
+				break
+			}
+			if inSCC[next] && !seen[next] {
+				seen[next] = true
+				steps = append(steps, step{lock: next, prev: i})
+			}
+		}
+	}
+	if cycleEnd < 0 {
+		return
+	}
+	var chain []string
+	for i := cycleEnd; i >= 0; i = steps[i].prev {
+		chain = append([]string{steps[i].lock}, chain...)
+	}
+	var details []string
+	var at *Fact
+	for i := 0; i+1 < len(chain); i++ {
+		k := [2]string{chain[i], chain[i+1]}
+		if e, ok := edgeAt[k]; ok {
+			details = append(details, fmt.Sprintf("%s → %s at %s:%d via %s", e.from, e.to, filepath.Base(e.pos.Pos.Filename), e.pos.Pos.Line, e.via))
+			if at == nil {
+				f := e.pos
+				at = &f
+			}
+		} else if f, ok := declared[k]; ok {
+			details = append(details, fmt.Sprintf("%s → %s declared at %s:%d", k[0], k[1], filepath.Base(f.Pos.Filename), f.Pos.Line))
+			if at == nil {
+				at = &f
+			}
+		}
+	}
+	if at == nil {
+		return
+	}
+	mp.Reportf(at.Pos, "lock-order cycle (deadlock candidate): %s [%s] — goroutines taking these locks in opposite orders can deadlock each other",
+		strings.Join(chain, " → "), strings.Join(details, "; "))
+}
+
+// acqPath returns the shortest static-call chain from fn to a function
+// that directly acquires lock (inclusive of fn itself when it does).
+func acqPath(calls map[string][]string, direct map[string]map[string]bool, fn, lock string) []string {
+	type node struct {
+		fn   string
+		prev int
+	}
+	nodes := []node{{fn: fn, prev: -1}}
+	seen := map[string]bool{fn: true}
+	for i := 0; i < len(nodes); i++ {
+		if direct[nodes[i].fn][lock] {
+			var path []string
+			for j := i; j >= 0; j = nodes[j].prev {
+				path = append([]string{nodes[j].fn}, path...)
+			}
+			return path
+		}
+		for _, c := range calls[nodes[i].fn] {
+			if !seen[c] {
+				seen[c] = true
+				nodes = append(nodes, node{fn: c, prev: i})
+			}
+		}
+	}
+	return nil
+}
+
+// graphReaches reports whether b is reachable from a in adj.
+func graphReaches(adj map[string][]string, a, b string) bool {
+	stack := []string{a}
+	seen := map[string]bool{a: true}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range adj[n] {
+			if m == b {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// stronglyConnected returns the strongly connected components of adj
+// (Tarjan, iterative), in deterministic order.
+func stronglyConnected(adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var nodes []string
+	nodeSet := make(map[string]bool)
+	for n, ms := range adj {
+		nodeSet[n] = true
+		for _, m := range ms {
+			nodeSet[m] = true
+		}
+	}
+	nodes = sortedKeys(nodeSet)
+
+	type frame struct {
+		n  string
+		ci int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{n: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ci < len(adj[f.n]) {
+				m := adj[f.n][f.ci]
+				f.ci++
+				if _, ok := index[m]; !ok {
+					index[m], low[m] = next, next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					frames = append(frames, frame{n: m})
+				} else if onStack[m] && index[m] < low[f.n] {
+					low[f.n] = index[m]
+				}
+				continue
+			}
+			if low[f.n] == index[f.n] {
+				var scc []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc = append(scc, m)
+					if m == f.n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.n] < low[p.n] {
+					low[p.n] = low[f.n]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// prettyFn compacts a types.Func.FullName for messages:
+// "(*fexipro/internal/snap.WAL).Append" → "snap.WAL.Append",
+// "fexipro/internal/load.Run" → "load.Run".
+func prettyFn(full string) string {
+	if strings.HasPrefix(full, "(") {
+		end := strings.Index(full, ")")
+		if end < 0 {
+			return full
+		}
+		recv := strings.TrimPrefix(full[1:end], "*")
+		if i := strings.LastIndex(recv, "/"); i >= 0 {
+			recv = recv[i+1:]
+		}
+		return recv + "." + strings.TrimPrefix(full[end+1:], ".")
+	}
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// sortedKeys returns the keys of a string-keyed set in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,23 @@
+// Package dep is the callee side of the cross-package fact join: its
+// body verdicts are exported from this unit and joined against the
+// root package's go sites in the goroutinelife module phase.
+package dep
+
+// Worker runs to completion on its own: a bounded body, so launching
+// it as a goroutine needs no further join edge.
+func Worker(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+}
+
+// Spin never terminates and offers no cancel edge — launching it leaks
+// a goroutine for the life of the process.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}

@@ -1,0 +1,153 @@
+// Fixture for the goroutinelife analyzer: each accepted join edge
+// (WaitGroup, ctx.Done, closed-channel range, bounded body) plus the
+// leak shapes it must flag, including a cross-package go site judged
+// via the callee's exported body verdict.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+
+	"fexipro/internal/lint/testdata/src/goroutinelife/dep"
+)
+
+func work(int) {}
+
+// joined launches workers with the canonical WaitGroup join edge.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// cancelled loops forever but exits on ctx.Done — the cancel edge.
+func cancelled(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				work(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// drained ranges over a channel the launcher closes — the drain edge.
+func drained(items []int) {
+	ch := make(chan int, len(items))
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+	close(ch)
+}
+
+// eventLoop ranges over a channel it never closes, but the loop has an
+// explicit exit arm (the signal-loop idiom) — accepted.
+func eventLoop(sig chan int) {
+	go func() {
+		for v := range sig {
+			if v == 0 {
+				break
+			}
+			work(v)
+		}
+	}()
+}
+
+// bounded runs to completion on its own.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work(i)
+		}
+	}()
+}
+
+// spinner leaks: an infinite loop with no cancel edge.
+func spinner() {
+	go func() { // want `goroutine has no provable termination or join edge: infinite for loop`
+		for {
+			work(1)
+		}
+	}()
+}
+
+// unclosedRange leaks: the launcher never closes ch and the loop has
+// no exit arm, so the goroutine blocks forever once senders stop.
+func unclosedRange(ch chan int) {
+	go func() { // want `range over a channel the launcher never closes`
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// addInside corrupts the WaitGroup: Add races with the launcher's Wait.
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the launched goroutine races with the launcher's Wait`
+		defer wg.Done()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+// leakyAdd returns between wg.Add and the launch on the error path, so
+// the launcher's Wait hangs forever.
+func leakyAdd(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if bad {
+		return // want `return between wg\.Add and the goroutine launch leaks the Add`
+	}
+	go func() {
+		defer wg.Done()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+// compensated is the same shape with a Done on the error path — fine.
+func compensated(bad bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if bad {
+		wg.Done()
+		return
+	}
+	go func() {
+		defer wg.Done()
+		work(1)
+	}()
+	wg.Wait()
+}
+
+// crossOK launches a bounded callee from another package: dep's body
+// verdict travels as a fact and clears it in the module phase.
+func crossOK() {
+	go dep.Worker(10)
+}
+
+// crossLeak launches dep.Spin, whose exported verdict says it never
+// terminates — flagged via the cross-package fact join.
+func crossLeak() {
+	go dep.Spin() // want `go dep\.Spin: infinite for loop without a ctx\.Done select arm`
+}
+
+// funcValue launches through a function value — unresolvable callee.
+func funcValue(f func()) {
+	go f() // want `go statement calls through a function value`
+}

@@ -1,0 +1,18 @@
+// Package dep is the consumer side of the cross-package fact join: the
+// //fex:guard annotation lives on guardedby.S, the accesses happen
+// here, and the module phase joins the two.
+package dep
+
+import root "fexipro/internal/lint/testdata/src/guardedby"
+
+// PokeBad writes the guarded field without its mutex.
+func PokeBad(s *root.S) {
+	s.N = 1 // want `write to guardedby\.S\.N without holding guardedby\.S\.Mu`
+}
+
+// PokeGood holds the lock across the write.
+func PokeGood(s *root.S) {
+	s.Mu.Lock()
+	s.N = 2
+	s.Mu.Unlock()
+}

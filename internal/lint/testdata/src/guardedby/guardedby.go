@@ -1,0 +1,90 @@
+// Fixture for the guardedby analyzer: annotation enforcement (reads
+// and writes outside the mutex, writes under RLock), the Locked-suffix
+// and local-construction exemptions, directive validation, and the
+// inference path that suggests annotations for disciplined fields.
+package guardedby
+
+import "sync"
+
+// G exercises annotation enforcement and inference.
+type G struct {
+	mu sync.RWMutex
+	//fex:guard mu
+	n    int
+	hits int // want `field guardedby\.G\.hits is always written \(2×\) under guardedby\.G\.mu`
+	free int
+	//fex:guard nosuch
+	bad int // want `//fex:guard nosuch on G\.bad names no sync\.Mutex/RWMutex sibling field`
+	//fex:guard mu
+	mu2 sync.Mutex // want `//fex:guard on G\.mu2, which is itself a mutex`
+}
+
+// SetGood writes guarded state under the write lock.
+func (g *G) SetGood(v int) {
+	g.mu.Lock()
+	g.n = v
+	g.hits++
+	g.mu.Unlock()
+}
+
+// GetGood reads guarded state under the read lock.
+func (g *G) GetGood() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// SetBad writes the guarded field with no lock held.
+func (g *G) SetBad(v int) {
+	g.n = v // want `write to guardedby\.G\.n without holding guardedby\.G\.mu`
+}
+
+// ReadBad reads the guarded field with no lock held.
+func (g *G) ReadBad() int {
+	return g.n // want `read of guardedby\.G\.n without holding guardedby\.G\.mu`
+}
+
+// WriteUnderRLock holds the wrong lock mode for a write.
+func (g *G) WriteUnderRLock(v int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.n = v // want `write to guardedby\.G\.n under RLock of guardedby\.G\.mu`
+}
+
+// setNLocked follows the Locked-suffix convention: the caller holds mu,
+// so receiver-rooted accesses are exempt.
+func (g *G) setNLocked(v int) {
+	g.n = v
+}
+
+// NewG initializes guarded fields on a freshly constructed object that
+// no other goroutine can see yet — exempt.
+func NewG(v int) *G {
+	g := &G{}
+	g.n = v
+	return g
+}
+
+// bump2 is the second disciplined write of hits, pushing it over the
+// inference threshold.
+func (g *G) bump2() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hits++
+}
+
+// touch writes the undisciplined field; one unlocked write means no
+// inference and, unannotated, no enforcement.
+func (g *G) touch() {
+	g.free = 1
+}
+
+var _ = (&G{}).touch
+
+// S is accessed from the dep package: its annotation travels as a fact
+// and is joined against dep's access records in the module phase.
+type S struct {
+	Mu sync.Mutex
+	//fex:guard Mu
+	N int
+}

@@ -1,0 +1,20 @@
+// Package dep is the callee side of the cross-package fact join: its
+// acquisition facts are exported from this unit and combined with the
+// root package's held-call facts in the lockorder module phase.
+package dep
+
+import "sync"
+
+// D carries the second lock of the seeded ABBA pair.
+type D struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires dep.D.Mu; a caller holding another lock when it calls
+// here creates a cross-package lock-order edge onto it.
+func (d *D) Bump() {
+	d.Mu.Lock()
+	d.n++
+	d.Mu.Unlock()
+}

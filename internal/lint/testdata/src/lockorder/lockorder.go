@@ -1,0 +1,109 @@
+// Fixture for the lockorder analyzer: a seeded two-mutex ABBA deadlock
+// spanning two packages, plus the satellite diagnostics (undocumented
+// nesting, declared-hierarchy contradiction, self re-acquisition, and
+// directive validation).
+package lockorder
+
+import (
+	"sync"
+
+	"fexipro/internal/lint/testdata/src/lockorder/dep"
+)
+
+// The declared hierarchy: S.mu may nest Q.mu, and R.mu is declared to
+// precede Q.mu (which reverse below contradicts).
+//
+//fex:lockorder lockorder.S.mu < lockorder.Q.mu
+//fex:lockorder lockorder.R.mu < lockorder.Q.mu
+
+// S holds the first lock of the ABBA pair.
+type S struct {
+	mu sync.Mutex
+	d  dep.D
+	p  P
+	n  int
+}
+
+// P is an undocumented nesting target.
+type P struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Q and R exercise the declared hierarchy and its contradiction.
+type Q struct {
+	mu sync.Mutex
+	r  R
+	n  int
+}
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// abFirst takes lockorder.S.mu and then, through the cross-package call
+// to dep.Bump, dep.D.Mu: the A → B half of the seeded deadlock.
+func (s *S) abFirst() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.Bump()
+}
+
+// baFirst takes dep.D.Mu then lockorder.S.mu: the B → A half. The
+// module phase joins the halves into a cycle spanning both packages.
+func (s *S) baFirst() {
+	s.d.Mu.Lock()
+	defer s.d.Mu.Unlock()
+	s.mu.Lock() // want `lock-order cycle \(deadlock candidate\): dep\.D\.Mu → lockorder\.S\.mu → dep\.D\.Mu`
+	s.n++
+	s.mu.Unlock()
+}
+
+// nestUndeclared nests P.mu under S.mu with no //fex:lockorder line.
+func (s *S) nestUndeclared() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.mu.Lock() // want `lockorder\.P\.mu acquired while holding lockorder\.S\.mu .* undocumented lock order`
+	s.p.n++
+	s.p.mu.Unlock()
+}
+
+// nestDeclared nests Q.mu under S.mu, which the hierarchy above
+// declares — no diagnostic.
+func (s *S) nestDeclared(q *Q) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+}
+
+// reversed acquires R.mu under Q.mu, contradicting the declared
+// lockorder.R.mu < lockorder.Q.mu.
+func (q *Q) reversed() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.r.mu.Lock() // want `lockorder\.R\.mu acquired while holding lockorder\.Q\.mu .* contradicts the declared hierarchy`
+	q.r.n++
+	q.r.mu.Unlock()
+}
+
+// bumpLocked acquires S.mu directly.
+func (s *S) bumpLocked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// reenter calls bumpLocked while already holding S.mu: sync mutexes
+// are not reentrant, so this self-deadlocks at runtime.
+func (s *S) reenter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked() // want `lockorder\.S\.mu re-acquired while already held .* self-deadlocks`
+}
+
+/*fex:lockorder bogus directive*/ // want `malformed //fex:lockorder directive`
+
+/*fex:lockorder lockorder.S.mu < lockorder.Ghost.mu*/ // want `lockorder\.Ghost\.mu, which is never acquired anywhere in the module`

@@ -88,6 +88,12 @@ type Config struct {
 	// Timeout.
 	//lint:ignore apiparity test-only injection surface, deliberately unreachable from flags
 	Client *http.Client
+
+	// ownsClient marks a Client that applyDefaults built: Run closes
+	// its idle connections on the way out so transport keep-alive
+	// goroutines do not outlive the run. Caller-provided clients are
+	// left alone.
+	ownsClient bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -134,6 +140,7 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: c.Timeout}
+		c.ownsClient = true
 	}
 	return nil
 }
@@ -279,16 +286,19 @@ func QueryVector(seed int64, u uint64, dim int) []float64 {
 
 // tally accumulates results from the sender goroutines.
 type tally struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	//fex:guard mu
 	completed int
-	errors    int
-	byStatus  map[string]int
-	searches  int
-	adds      int
-	deletes   int
-	partials  int
-	lats      []float64 // seconds, completed searches only
-	addedIDs  []int     // ids created by adds, consumed by deletes
+	//fex:guard mu
+	errors   int
+	byStatus map[string]int
+	searches int
+	adds     int
+	deletes  int
+	partials int
+	lats     []float64 // seconds, completed searches only
+	//fex:guard mu
+	addedIDs []int // ids created by adds, consumed by deletes
 }
 
 func (t *tally) noteStatus(code int) {
@@ -376,6 +386,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	rep := buildReport(&cfg, tl, sent, shed, elapsed)
 	rep.Plan = fetchPlan(&cfg)
+	if cfg.ownsClient {
+		// Every sender has joined (wg.Wait above); drop the transport's
+		// keep-alive connections too, so no goroutine started on this
+		// run's behalf outlives it (TestRunJoinsGoroutines).
+		cfg.Client.CloseIdleConnections()
+	}
 	return rep, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -255,5 +256,50 @@ func TestRunCancel(t *testing.T) {
 	}
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("cancelled run report invalid: %v", err)
+	}
+}
+
+// TestRunJoinsGoroutines: everything Run starts — sender goroutines
+// and its own client's transport keep-alive goroutines — must be gone
+// by the time Run returns, so fexload can write its -slojson report
+// knowing no stragglers are still mutating the tally. The goroutine
+// count is allowed a short settling window (conn teardown on the
+// httptest server side is asynchronous), but must return to its
+// pre-run level.
+func TestRunJoinsGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := vec.NewMatrix(50, 4)
+	for i := range items.Data {
+		items.Data[i] = rng.NormFloat64()
+	}
+	srv, err := server.New(items, core.Options{SVD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	rep, err := load.Run(context.Background(), load.Config{
+		Target: ts.URL, Dim: 4, Rate: 400, Duration: 300 * time.Millisecond,
+		MutateEvery: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("no requests completed, nothing exercised: %+v", rep)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines did not settle after Run: %d before, %d now\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
 	}
 }

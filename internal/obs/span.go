@@ -30,7 +30,8 @@ type Span struct {
 	start time.Time
 	dur   atomic.Int64 // nanoseconds; 0 until End
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//fex:guard mu
 	attrs    []spanAttr
 	children []*Span
 }

@@ -154,6 +154,18 @@ const (
 )
 
 // Server is the HTTP handler set over one dynamic index.
+//
+// Lock hierarchy: Server.mu is the outermost lock. While holding it the
+// handlers append to the WAL, consult the fault registry, and record
+// span attributes — each of which takes its own (leaf) mutex. The
+// declarations below are enforced by fexlint's lockorder analyzer and
+// mirrored at runtime by TestAcquisitionOrderUnderConcurrentLoad;
+// never acquire Server.mu while holding any of these.
+//
+//fex:lockorder server.Server.mu < snap.WAL.mu
+//fex:lockorder server.Server.mu < faults.Registry.mu
+//fex:lockorder server.Server.mu < faults.Hook.mu
+//fex:lockorder server.Server.mu < obs.Span.mu
 type Server struct {
 	mu  sync.Mutex
 	idx *core.DynamicIndex

@@ -204,19 +204,26 @@ func decodeWALRecord(payload []byte, dim int) (WALRecord, error) {
 // and Close), batching the dominant durability cost. All methods are
 // safe for concurrent use, though the server serializes appends under
 // its own mutex anyway.
+//
+// Lock hierarchy: WAL.mu is held across the fault-hook poll, whose
+// Hook mutex is a leaf — declared here for the lockorder analyzer.
+//
+//fex:lockorder snap.WAL.mu < faults.Hook.mu
 type WAL struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	dim     int
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	dim  int
+	//fex:guard mu
 	nextSeq uint64
 	// syncEvery batches fsyncs: 1 = fsync per append (full durability),
 	// N > 1 amortizes at the cost of the last N-1 acks on power loss.
 	syncEvery int
-	unsynced  int
-	appended  uint64
-	hook      *faults.Hook
-	broken    error
+	//fex:guard mu
+	unsynced int
+	appended uint64
+	hook     *faults.Hook
+	broken   error
 }
 
 // OpenWAL opens (or creates) the WAL at path for appending. dim is the
@@ -337,7 +344,7 @@ func (w *WAL) Append(op WALOp, id int64, item []float64) (uint64, error) {
 	enc := encodeWALRecord(rec, w.dim)
 	if h := w.hook; h != nil {
 		//lint:ignore lockhold the fault hook must fire inside the append critical section to model a torn write at the exact record boundary (test-only injection)
-		if err := w.pollHook(h, enc); err != nil {
+		if err := w.pollHookLocked(h, enc); err != nil {
 			return 0, err
 		}
 	}
@@ -356,10 +363,10 @@ func (w *WAL) Append(op WALOp, id int64, item []float64) (uint64, error) {
 	return rec.Seq, nil
 }
 
-// pollHook consults the fault hook, tearing the write on failure or
+// pollHookLocked consults the fault hook, tearing the write on failure or
 // panic: half the encoded record hits the file (best-effort, synced),
 // the WAL marks itself failed, and the fault propagates.
-func (w *WAL) pollHook(h *faults.Hook, enc []byte) error {
+func (w *WAL) pollHookLocked(h *faults.Hook, enc []byte) error {
 	tear := func(cause error) {
 		_, _ = w.f.Write(enc[:len(enc)/2])
 		_ = w.f.Sync()
